@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper and prints
+the rows it reports, so running ``pytest benchmarks/ --benchmark-only
+-s`` reproduces the evaluation section end to end.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: marks benchmarks that regenerate a paper artefact"
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector that prints reproduced rows at session end."""
+    lines = []
+    yield lines
+    if lines:
+        print("\n" + "=" * 72)
+        print("REPRODUCED PAPER ARTEFACTS")
+        print("=" * 72)
+        for line in lines:
+            print(line)

@@ -1,0 +1,81 @@
+"""Benchmark: the offline analysis tool on the automotive task tables.
+
+Regenerates the artefact the paper's "in-house tool" produces: the
+task tables with processor assignments, worst-case response times and
+promotion instants, for every Figure 4 configuration.  Also times the
+recurrence itself (it must be cheap enough for "low memory usage and
+low computational overhead" on small embedded systems).
+"""
+
+import pytest
+
+from repro.analysis.promotion import promotion_table
+from repro.analysis.response_time import response_time_table
+from repro.analysis.schedulability import analyse_taskset
+from repro.analysis.taskgen import random_taskset
+from repro.analysis.partitioning import partition
+from repro.workloads.automotive import build_automotive_taskset, prepare_taskset
+
+TICK = 5_000_000
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("n_cpus", [2, 3, 4])
+def test_automotive_task_tables(benchmark, report, n_cpus):
+    def analyse():
+        ts = build_automotive_taskset(0.50, n_cpus)
+        prepared = prepare_taskset(ts, n_cpus, tick=TICK)
+        return prepared, promotion_table(prepared, n_cpus)
+
+    prepared, rows = benchmark(analyse)
+    assert len(rows) == 18
+    assert all(row["schedulable"] for row in rows)
+    assert all(row["promotion"] is not None and row["promotion"] >= 0 for row in rows)
+    report.append(f"[Task table] {n_cpus} processors @ 50% utilization:")
+    for row in rows[: 6 if n_cpus == 2 else 3]:
+        report.append(
+            f"  {row['task']:<28} cpu={row['cpu']} C={row['wcet']:>11} "
+            f"T={row['period']:>12} W={row['wcrt']:>11} U={row['promotion']:>12}"
+        )
+
+
+def test_response_time_recurrence_speed(benchmark):
+    """The W_i recurrence over a 50-task single-processor group."""
+    ts = random_taskset(50, 0.75, seed=123)
+
+    def run():
+        return response_time_table(ts.periodic)
+
+    table = benchmark(run)
+    assert len(table) == 50
+
+
+def test_partition_and_analyse_speed(benchmark):
+    """Full pipeline on a 40-task set across 4 processors."""
+    ts = random_taskset(40, 2.4, seed=5)
+
+    def run():
+        assigned = partition(ts, 4)
+        return analyse_taskset(assigned, 4)
+
+    result = benchmark(run)
+    assert result.schedulable
+
+
+@pytest.mark.paper
+def test_wcet_sensitivity_of_automotive_set(benchmark, report):
+    """Per-task WCET headroom of the paper's workload at 2P/50%."""
+    from repro.analysis.sensitivity import sensitivity_report
+
+    def run():
+        ts = build_automotive_taskset(0.50, 2)
+        prepared = prepare_taskset(ts, 2, tick=TICK)
+        return sensitivity_report(prepared, 2)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    tightest = min(rows, key=lambda r: r["scaling_factor"])
+    report.append(
+        f"[Sensitivity] tightest budget at 2P@50%: {tightest['task']} "
+        f"tolerates x{tightest['scaling_factor']:.2f} WCET growth"
+    )
+    assert all(row["scaling_factor"] > 1.0 for row in rows)

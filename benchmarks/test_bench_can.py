@@ -1,0 +1,67 @@
+"""Benchmark: CAN network analysis (the peripheral side of the paper).
+
+The paper's aperiodic events arrive from CAN-class peripherals; this
+bench regenerates the message-set analysis a designer would run before
+wiring those peripherals into the MPIC: per-message worst-case
+response on the wire, bus utilization, and a bitrate sweep showing the
+schedulability cliff.
+"""
+
+import pytest
+
+from repro import CLOCK_HZ
+from repro.workloads.canbus import (
+    automotive_message_set,
+    bus_utilization,
+    can_response_time,
+)
+
+
+@pytest.mark.paper
+def test_can_message_set_analysis(benchmark, report):
+    def analyse():
+        messages = automotive_message_set(bitrate=500_000)
+        return messages, [
+            can_response_time(m, messages, bitrate=500_000) for m in messages
+        ]
+
+    messages, responses = benchmark(analyse)
+    report.append("[CAN] worst-case response on the wire at 500 kbit/s:")
+    for message, response in zip(messages, responses):
+        report.append(
+            f"  {message.frame.name:<16} id={message.frame.can_id:#05x} "
+            f"wcrt={1e3 * response / CLOCK_HZ:6.2f} ms"
+        )
+    # All schedulable, responses ordered with priority.
+    assert all(r is not None for r in responses)
+    assert responses == sorted(responses)
+
+
+@pytest.mark.paper
+def test_can_bitrate_cliff(benchmark, report):
+    """Sweep the bitrate downward until the set stops being schedulable."""
+
+    def sweep():
+        rows = []
+        for bitrate in (1_000_000, 500_000, 250_000, 125_000, 62_500, 31_250):
+            messages = automotive_message_set(bitrate=bitrate)
+            utilization = bus_utilization(messages, bitrate)
+            schedulable = all(
+                can_response_time(m, messages, bitrate) is not None
+                for m in messages
+            )
+            rows.append((bitrate, utilization, schedulable))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.append("[CAN] bitrate sweep (bitrate, utilization, schedulable):")
+    for bitrate, utilization, schedulable in rows:
+        report.append(
+            f"  {bitrate // 1000:>5} kbit/s  U={utilization:6.1%}  "
+            f"{'ok' if schedulable else 'UNSCHEDULABLE'}"
+        )
+    # Monotone: once unschedulable, lower bitrates stay unschedulable.
+    verdicts = [s for _b, _u, s in rows]
+    assert verdicts == sorted(verdicts, reverse=True)
+    assert verdicts[0] is True
+    assert verdicts[-1] is False

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 3 (the worked dual-MicroBlaze schedule).
+
+Produces the two schedules (A: periodic only, B: with the two
+aperiodic arrivals) and verifies every claim the paper's caption
+makes about them.
+"""
+
+import pytest
+
+from repro.experiments.figure3 import (
+    narrative_checks_a,
+    narrative_checks_b,
+    run_schedule_a,
+    run_schedule_b,
+    schedule_report,
+)
+
+
+@pytest.mark.paper
+def test_figure3_schedule_a(benchmark, report):
+    sim, trace = benchmark(run_schedule_a)
+    checks = narrative_checks_a(sim, trace)
+    assert all(checks.values()), checks
+    report.append("[Figure 3 / schedule A]")
+    report.append(schedule_report("A (periodic only)", sim, trace))
+
+
+@pytest.mark.paper
+def test_figure3_schedule_b(benchmark, report):
+    sim, trace = benchmark(run_schedule_b)
+    checks = narrative_checks_b(sim, trace)
+    assert all(checks.values()), checks
+    report.append("[Figure 3 / schedule B]")
+    report.append(schedule_report("B (with aperiodics)", sim, trace))

@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Figure 4 (aperiodic response, theoretical vs real).
+
+One benchmark per (processors, utilization) cell; each prints the row
+the paper's bar chart encodes and asserts the qualitative shape:
+
+- the theoretical simulator responds near the 10.1 s execution time
+  (10.32 s worst case with switching, per the paper);
+- the real prototype is slower in every cell;
+- at 2 processors the gap sits in the single-digit-to-low-teens band;
+- the gap grows with processor count at equal utilization.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import (
+    APERIODIC_STANDALONE_S,
+    PAPER_SLOWDOWNS,
+    run_cell,
+    slowdown_table,
+)
+
+GRID = [(n, u) for n in (2, 3, 4) for u in (0.40, 0.50, 0.60)]
+
+_cells = {}
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("n_cpus,utilization", GRID)
+def test_figure4_cell(benchmark, report, n_cpus, utilization):
+    cell = benchmark.pedantic(
+        run_cell, args=(n_cpus, utilization), rounds=1, iterations=1
+    )
+    _cells[(n_cpus, utilization)] = cell
+    paper = PAPER_SLOWDOWNS.get((n_cpus, round(utilization, 2)))
+    paper_text = f"(paper: {paper:.0f} %)" if paper is not None else ""
+    report.append(f"[Figure 4] {cell.row()} {paper_text}")
+
+    # Theoretical near the standalone execution time.
+    assert cell.theoretical_s == pytest.approx(
+        APERIODIC_STANDALONE_S * 1.02, rel=0.03
+    )
+    # Prototype strictly slower than simulation.
+    assert cell.real_s > cell.theoretical_s
+    # Within a loose factor of the paper's band.
+    assert cell.slowdown_pct < 50.0
+
+
+@pytest.mark.paper
+def test_figure4_shape(benchmark, report):
+    """Cross-cell shape: utilization and processor-count monotonicity."""
+
+    def collect():
+        for key in GRID:
+            if key not in _cells:
+                _cells[key] = run_cell(*key)
+        return dict(_cells)
+
+    cells = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report.append("[Figure 4] full grid:")
+    report.append(slowdown_table([cells[k] for k in GRID]))
+
+    # Gap grows with utilization for every processor count (small noise allowed).
+    for n in (2, 3, 4):
+        low, high = cells[(n, 0.40)].slowdown_pct, cells[(n, 0.60)].slowdown_pct
+        assert high > low * 0.9, f"{n}P: {low} -> {high}"
+    # More processors = more contention at equal utilization.
+    for u in (0.40, 0.50, 0.60):
+        assert cells[(3, u)].slowdown_pct > cells[(2, u)].slowdown_pct * 0.8
+        assert cells[(4, u)].slowdown_pct > cells[(2, u)].slowdown_pct
+    # The paper's 4P/60% reference point: about 25 % over the optimum.
+    assert 15.0 < cells[(4, 0.60)].slowdown_pct < 45.0

@@ -1,0 +1,43 @@
+"""Benchmark: the in-text slowdown matrix (real vs theoretical, %).
+
+The paper quotes the slowdown of the prototype relative to the
+simulation: 7/8/12 % at 2 processors for 40/50/60 % utilization,
+15/22/27 % at 3 processors, and about 25 % at 4 processors / 60 %.
+This bench regenerates the matrix and checks the reproduction-quality
+criteria: correct sign everywhere, correct ordering, and the 2P
+column landing inside the paper's band.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import PAPER_SLOWDOWNS, run_cell
+
+
+@pytest.mark.paper
+def test_slowdown_matrix(benchmark, report):
+    def sweep():
+        return {
+            (n, u): run_cell(n, u)
+            for n in (2, 3, 4)
+            for u in (0.40, 0.50, 0.60)
+        }
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report.append("[Slowdown matrix] measured (paper) in % real-vs-theoretical:")
+    for n in (2, 3, 4):
+        row = []
+        for u in (0.40, 0.50, 0.60):
+            measured = cells[(n, u)].slowdown_pct
+            paper = PAPER_SLOWDOWNS.get((n, round(u, 2)))
+            row.append(f"{measured:5.1f}" + (f" ({paper:.0f})" if paper else "      "))
+        report.append(f"  {n}P: " + "   ".join(row))
+
+    # Sign: the prototype is never faster than the simulation.
+    assert all(cell.slowdown_pct > 0 for cell in cells.values())
+    # 2P band: single digits to low teens, as in the paper (7-12 %).
+    for u in (0.40, 0.50, 0.60):
+        assert 1.0 < cells[(2, u)].slowdown_pct < 18.0
+    # Adding processors at equal utilization costs responsiveness.
+    for u in (0.40, 0.50, 0.60):
+        assert cells[(4, u)].slowdown_pct > cells[(2, u)].slowdown_pct

@@ -1,0 +1,71 @@
+"""Sweep benchmarks: sensitivity curves around the Figure 4 operating point.
+
+Uses the generic sweep runner to chart how the prototype's aperiodic
+response moves with each physical knob, holding the 2P/50 % automotive
+workload fixed.
+"""
+
+import pytest
+
+from repro.experiments.runner import (
+    context_cost_sweep,
+    mpic_timeout_sweep,
+    processor_scaling_sweep,
+    traffic_intensity_sweep,
+)
+
+
+@pytest.mark.paper
+def test_sweep_traffic_intensity(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: traffic_intensity_sweep(scales=(0.25, 1.0, 2.0)),
+        rounds=1, iterations=1,
+    )
+    report.append("[Sweep] shared-memory traffic intensity (2P@50%):")
+    report.append(result.format())
+    responses = result.column("response_s")
+    # More traffic, slower aperiodic response.
+    assert responses[0] < responses[-1]
+    # The calibrated point (traffic = 1.0) keeps every deadline; the
+    # 2x overload is allowed to saturate the bus and miss.
+    misses_by_traffic = dict(zip(result.column("traffic"), result.column("misses")))
+    assert misses_by_traffic[0.25] == 0
+    assert misses_by_traffic[1.0] == 0
+
+
+@pytest.mark.paper
+def test_sweep_context_cost(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: context_cost_sweep(multipliers=(1, 100, 1000)),
+        rounds=1, iterations=1,
+    )
+    report.append("[Sweep] context-switch cost multiplier (2P@50%):")
+    report.append(result.format())
+    responses = result.column("response_s")
+    assert responses[-1] > responses[0]
+
+
+@pytest.mark.paper
+def test_sweep_processor_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: processor_scaling_sweep(cpus=(2, 3, 4), utilization=0.5),
+        rounds=1, iterations=1,
+    )
+    report.append("[Sweep] processor count at 50% utilization:")
+    report.append(result.format())
+    # Bus utilization grows with processors (the Figure 4 mechanism).
+    bus = result.column("bus_utilization")
+    assert bus[0] < bus[1] < bus[2]
+
+
+@pytest.mark.paper
+def test_sweep_mpic_timeout(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: mpic_timeout_sweep(timeouts=(50, 500, 5_000)),
+        rounds=1, iterations=1,
+    )
+    report.append("[Sweep] MPIC acknowledge timeout:")
+    report.append(result.format())
+    # Sane responses at every timeout; no lost interrupts.
+    assert all(r > 10.0 for r in result.column("response_s"))
+    assert all(m == 0 for m in result.column("misses"))

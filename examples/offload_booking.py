@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""IP-core offloading with booked completion interrupts.
+
+The paper motivates the MPIC's *booking* feature with dynamic thread
+allocation: "if a processor offloads a function to an intellectual
+property core, we may want that the same processor that started the
+computation manage the read-back of the results."
+
+This example offloads CRC32 computations from two different
+processors to a shared accelerator; each completion interrupt is
+booked back to whichever processor submitted, so read-back always
+lands on the core holding the caller's context.
+
+Run:  python examples/offload_booking.py
+"""
+
+import binascii
+
+from repro.hw.ipcore import IPCore
+from repro.hw.soc import SoC, SoCConfig
+
+
+def main() -> None:
+    soc = SoC(SoCConfig(n_cpus=3))
+    crc_engine = IPCore(
+        soc.sim,
+        soc.bus,
+        soc.intc,
+        name="crc32-accelerator",
+        latency=3_000,
+        compute=lambda data: binascii.crc32(data) & 0xFFFFFFFF,
+    )
+
+    payloads = [
+        (0, b"wheel-speed-frame"),
+        (2, b"airbag-status-frame"),
+        (1, b"engine-map-block"),
+    ]
+    log = []
+
+    def offload(cpu, data):
+        job = yield from crc_engine.submit(cpu, payload=data)
+        submitted = soc.sim.now
+        # Wait for the booked completion interrupt on this cpu.
+        yield soc.cores[cpu].irq_event()
+        source, irq_payload = soc.intc.acknowledge(cpu)
+        result = yield from crc_engine.read_back(cpu, job)
+        soc.intc.complete(cpu)
+        log.append(
+            dict(cpu=cpu, data=data, crc=result,
+                 submitted=submitted, done=soc.sim.now,
+                 via=irq_payload["core"])
+        )
+
+    def sequencer():
+        # The accelerator is single-context: submissions serialise.
+        for cpu, data in payloads:
+            yield from offload(cpu, data)
+
+    soc.sim.process(sequencer())
+    soc.sim.run()
+
+    print(f"{'cpu':>4}  {'payload':<22}{'crc32':<12}{'cycles':>8}")
+    for entry in log:
+        expected = binascii.crc32(entry["data"]) & 0xFFFFFFFF
+        assert entry["crc"] == expected
+        print(f"{entry['cpu']:>4}  {entry['data'].decode():<22}"
+              f"{entry['crc']:#010x}  {entry['done'] - entry['submitted']:>8}")
+    print(f"\nall CRCs verified against binascii.crc32; "
+          f"{soc.intc.delivered} booked interrupts delivered to their submitters")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Offline analysis: worst-case response times, promotions, partitioning.
+
+Reproduces the paper's "in-house tool that takes in input worst case
+execution times, period and deadlines of the tasks and produces the
+task tables with processor assignments and all the required
+information for both our target architecture and the simulator".
+"""
+
+from repro.analysis.response_time import (
+    ResponseTimeResult,
+    busy_period_recurrence,
+    worst_case_response_time,
+)
+from repro.analysis.promotion import assign_promotions, promotion_time
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    analyse_taskset,
+    liu_layland_bound,
+    verify_partition,
+)
+from repro.analysis.hyperperiod import (
+    VerificationResult,
+    cross_check,
+    verify_by_simulation,
+)
+from repro.analysis.partitioning import PartitioningError, partition
+from repro.analysis.sensitivity import (
+    critical_tasks,
+    sensitivity_report,
+    wcet_scaling_factor,
+)
+from repro.analysis.taskgen import (
+    random_periods,
+    random_taskset,
+    uunifast,
+)
+
+__all__ = [
+    "worst_case_response_time",
+    "busy_period_recurrence",
+    "ResponseTimeResult",
+    "promotion_time",
+    "assign_promotions",
+    "analyse_taskset",
+    "verify_partition",
+    "SchedulabilityReport",
+    "liu_layland_bound",
+    "partition",
+    "PartitioningError",
+    "verify_by_simulation",
+    "cross_check",
+    "VerificationResult",
+    "wcet_scaling_factor",
+    "sensitivity_report",
+    "critical_tasks",
+    "uunifast",
+    "random_periods",
+    "random_taskset",
+]

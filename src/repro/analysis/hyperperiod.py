@@ -1,0 +1,120 @@
+"""Exact schedulability verification by hyperperiod simulation.
+
+The response-time test is sufficient and (for synchronous release)
+exact per processor, but it cannot account for implementation
+variations such as tick-quantised promotions.  This module provides
+the brute-force complement: simulate the analysed set with the real
+MPDP policy for one full hyperperiod (plus the longest deadline) under
+zero overhead and verify that no deadline is missed.  For synchronous
+periodic task sets this is a *necessary and sufficient* test of the
+implemented policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.task import TaskSet
+from repro.simulators.theoretical import TheoreticalSimulator
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a hyperperiod verification run."""
+
+    schedulable: bool
+    horizon: int
+    jobs_checked: int
+    misses: List[str]
+    worst_response_ratio: float  # max over jobs of response / deadline
+
+    def __bool__(self) -> bool:  # truthiness = verdict
+        return self.schedulable
+
+
+def verify_by_simulation(
+    taskset: TaskSet,
+    n_cpus: int,
+    tick: int,
+    max_horizon: int = 500_000_000,
+    hyperperiods: int = 1,
+) -> VerificationResult:
+    """Simulate ``hyperperiods`` hyperperiods and check every deadline.
+
+    Raises
+    ------
+    ValueError
+        When the hyperperiod is too large to simulate exactly
+        (``max_horizon`` guards against pathological period sets).
+    """
+    if hyperperiods < 1:
+        raise ValueError("hyperperiods must be >= 1")
+    taskset.require_analysed()
+    longest_deadline = max((t.deadline for t in taskset.periodic), default=0)
+    horizon = taskset.hyperperiod * hyperperiods + longest_deadline
+    if horizon > max_horizon:
+        raise ValueError(
+            f"hyperperiod horizon {horizon} exceeds max_horizon {max_horizon}; "
+            "use the response-time test instead"
+        )
+
+    sim = TheoreticalSimulator(taskset, n_cpus, tick=tick, overhead=0.0)
+    sim.run(horizon)
+
+    misses: List[str] = []
+    worst_ratio = 0.0
+    checked = 0
+    for job in sim.finished_jobs:
+        if not job.is_periodic:
+            continue
+        checked += 1
+        ratio = job.response_time / job.task.deadline
+        worst_ratio = max(worst_ratio, ratio)
+        if job.missed_deadline:
+            misses.append(job.name)
+    # Unfinished periodic jobs released more than a deadline before the
+    # horizon are misses too.
+    for job in list(sim.policy.periodic_ready) + [
+        j for j in sim.policy.running if j is not None and j.is_periodic
+    ]:
+        if job.release + job.task.deadline <= horizon:
+            misses.append(job.name)
+            checked += 1
+
+    return VerificationResult(
+        schedulable=not misses,
+        horizon=horizon,
+        jobs_checked=checked,
+        misses=sorted(misses),
+        worst_response_ratio=worst_ratio,
+    )
+
+
+def cross_check(
+    taskset: TaskSet,
+    n_cpus: int,
+    tick: int,
+    max_horizon: int = 500_000_000,
+) -> Optional[bool]:
+    """Compare the analytical verdict with the simulated one.
+
+    Returns True when both agree schedulable, False when both agree
+    unschedulable, and raises AssertionError when the analysis said
+    "schedulable" but the simulation found a miss (the analysis must
+    be safe).  Returns None when the hyperperiod is too large to
+    simulate.
+    """
+    from repro.analysis.schedulability import analyse_taskset
+
+    report = analyse_taskset(taskset, n_cpus)
+    try:
+        simulated = verify_by_simulation(taskset, n_cpus, tick, max_horizon=max_horizon)
+    except ValueError:
+        return None
+    if report.schedulable and not simulated.schedulable:
+        raise AssertionError(
+            "analysis claimed schedulable but simulation missed deadlines: "
+            f"{simulated.misses}"
+        )
+    return report.schedulable and simulated.schedulable

@@ -1,0 +1,161 @@
+"""Schedulability tests for the partitioned periodic load.
+
+MPDP guarantees periodic deadlines iff each per-processor group is
+schedulable under fixed-priority preemptive scheduling at the
+upper-band priorities -- exactly the classical uniprocessor tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.response_time import response_time_table
+from repro.core.task import PeriodicTask, TaskSet
+
+
+def liu_layland_bound(n: int) -> float:
+    """The Liu & Layland utilization bound n(2^{1/n} - 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n * (2 ** (1.0 / n) - 1.0)
+
+
+def utilization_test(tasks: Sequence[PeriodicTask]) -> bool:
+    """Sufficient (not necessary) Liu & Layland test for one processor.
+
+    Only valid for implicit deadlines; with constrained deadlines it is
+    applied to C/D as a conservative approximation.
+    """
+    if not tasks:
+        return True
+    usage = sum(t.wcet / min(t.deadline, t.period) for t in tasks)
+    return usage <= liu_layland_bound(len(tasks))
+
+
+@dataclass
+class SchedulabilityReport:
+    """Verdict for a partitioned task set.
+
+    ``per_cpu`` maps processor -> list of (task, wcrt, schedulable)
+    entries; ``schedulable`` is the conjunction over all tasks.
+    """
+
+    n_cpus: int
+    schedulable: bool
+    per_cpu: Dict[int, List[dict]] = field(default_factory=dict)
+    total_utilization: float = 0.0
+    per_cpu_utilization: List[float] = field(default_factory=list)
+
+    def failing_tasks(self) -> List[str]:
+        return [
+            row["task"]
+            for rows in self.per_cpu.values()
+            for row in rows
+            if not row["schedulable"]
+        ]
+
+    def format(self) -> str:
+        lines = [
+            f"processors: {self.n_cpus}   total U: {self.total_utilization:.3f}   "
+            f"schedulable: {self.schedulable}"
+        ]
+        for cpu in sorted(self.per_cpu):
+            lines.append(
+                f"  cpu {cpu} (U={self.per_cpu_utilization[cpu]:.3f}):"
+            )
+            for row in self.per_cpu[cpu]:
+                wcrt = row["wcrt"] if row["wcrt"] is not None else "-"
+                lines.append(
+                    f"    {row['task']:<14} C={row['wcet']:<10} D={row['deadline']:<10} "
+                    f"W={wcrt:<10} ok={row['schedulable']}"
+                )
+        return "\n".join(lines)
+
+
+def analyse_taskset(taskset: TaskSet, n_cpus: int) -> SchedulabilityReport:
+    """Exact (response-time based) schedulability of the partition."""
+    groups: Dict[int, List[PeriodicTask]] = {cpu: [] for cpu in range(n_cpus)}
+    for task in taskset.periodic:
+        if not 0 <= task.cpu < n_cpus:
+            raise ValueError(f"{task.name}: cpu {task.cpu} outside 0..{n_cpus - 1}")
+        groups[task.cpu].append(task)
+
+    report = SchedulabilityReport(
+        n_cpus=n_cpus,
+        schedulable=True,
+        total_utilization=taskset.utilization,
+        per_cpu_utilization=taskset.utilization_per_cpu(n_cpus),
+    )
+    for cpu, tasks in groups.items():
+        rows = []
+        for result, task in zip(response_time_table(tasks), tasks):
+            rows.append(
+                {
+                    "task": task.name,
+                    "wcet": task.wcet,
+                    "deadline": task.deadline,
+                    "wcrt": result.wcrt,
+                    "schedulable": result.schedulable,
+                }
+            )
+            if not result.schedulable:
+                report.schedulable = False
+        report.per_cpu[cpu] = rows
+    return report
+
+
+def verify_partition(taskset: TaskSet, n_cpus: int) -> None:
+    """Raise ValueError with details when the partition is infeasible."""
+    report = analyse_taskset(taskset, n_cpus)
+    if not report.schedulable:
+        raise ValueError(
+            "partition not schedulable; failing tasks: "
+            + ", ".join(report.failing_tasks())
+        )
+
+
+def breakdown_utilization(
+    tasks: Sequence[PeriodicTask], step: float = 0.01
+) -> float:
+    """Largest uniform period-scaling utilization that stays schedulable.
+
+    Periods are shrunk (utilization grown) until the response-time test
+    fails; used by the ablation benchmarks to characterise headroom.
+    """
+    if not tasks:
+        return 0.0
+    base = sum(t.utilization for t in tasks)
+    low_factor, high_factor = 0.05, 1.0
+
+    def feasible(factor: float) -> bool:
+        scaled = []
+        for t in tasks:
+            period = max(t.wcet, int(round(t.period * factor)))
+            deadline = max(t.wcet, min(period, int(round(t.deadline * factor))))
+            scaled.append(
+                PeriodicTask(
+                    name=t.name,
+                    wcet=t.wcet,
+                    period=period,
+                    deadline=deadline,
+                    low_priority=t.low_priority,
+                    high_priority=t.high_priority,
+                    cpu=t.cpu,
+                )
+            )
+        return all(r.schedulable for r in response_time_table(scaled))
+
+    if not feasible(high_factor):
+        return 0.0
+    # Binary search the smallest feasible scale factor.
+    for _ in range(40):
+        mid = (low_factor + high_factor) / 2
+        if feasible(mid):
+            high_factor = mid
+        else:
+            low_factor = mid
+        if high_factor - low_factor < 1e-6:
+            break
+    return min(1.0, base / high_factor)

@@ -1,0 +1,188 @@
+"""Generic experiment sweeps and the prepackaged ablation studies.
+
+The Figure 3/4 modules regenerate the paper's artefacts; this module
+provides the machinery for *new* experiments over the same system: a
+cartesian-product sweep runner with CSV export, plus the canned
+ablations that the benchmarks exercise (context-switch cost, MPIC ack
+timeout, bus-traffic intensity, scheduler baselines).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro import CLOCK_HZ, cycles_to_seconds
+from repro.hw.microblaze import ExecutionProfile
+from repro.kernel.costs import KernelCosts
+from repro.kernel.microkernel import TaskBinding
+from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
+from repro.trace.metrics import compute_metrics
+from repro.workloads.automotive import (
+    AUTOMOTIVE_APERIODIC,
+    automotive_bindings,
+    build_automotive_taskset,
+    prepare_taskset,
+)
+
+TICK = 5_000_000
+
+
+@dataclass
+class SweepResult:
+    """Rows produced by :func:`sweep`, with rendering helpers."""
+
+    parameters: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        if not self.rows:
+            return ""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def format(self) -> str:
+        if not self.rows:
+            return "(empty sweep)"
+        keys = list(self.rows[0].keys())
+        widths = {
+            k: max(len(k), max(len(self._cell(r[k])) for r in self.rows))
+            for k in keys
+        }
+        lines = ["  ".join(k.ljust(widths[k]) for k in keys)]
+        for row in self.rows:
+            lines.append("  ".join(self._cell(row[k]).ljust(widths[k]) for k in keys))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def column(self, key: str) -> List[Any]:
+        return [row[key] for row in self.rows]
+
+
+def sweep(
+    measure: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+) -> SweepResult:
+    """Run ``measure(**point)`` over the cartesian product of ``grid``.
+
+    ``measure`` returns a mapping of result columns; the sweep prepends
+    the parameter values to every row.
+    """
+    names = list(grid.keys())
+    result = SweepResult(parameters=names)
+    for values in itertools.product(*(grid[name] for name in names)):
+        point = dict(zip(names, values))
+        outcome = measure(**point)
+        row = dict(point)
+        row.update(outcome)
+        result.rows.append(row)
+    return result
+
+
+# --------------------------------------------------------------- measurements
+def prototype_response_s(
+    n_cpus: int = 2,
+    utilization: float = 0.5,
+    scale: int = 1_000,
+    costs: KernelCosts = None,
+    bindings: Dict[str, TaskBinding] = None,
+    mpic_ack_timeout: int = None,
+    arrival_s: float = 1.0,
+    horizon_margin_s: float = 17.0,
+) -> Dict[str, Any]:
+    """One prototype run; returns response time and kernel counters."""
+    taskset = prepare_taskset(
+        build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
+    )
+    arrival = int(arrival_s * CLOCK_HZ)
+    horizon = arrival + int(horizon_margin_s * CLOCK_HZ)
+    proto = PrototypeSimulator(
+        taskset,
+        PrototypeConfig(n_cpus=n_cpus, tick=TICK, scale=scale,
+                        costs=costs or KernelCosts()),
+        bindings=bindings if bindings is not None else automotive_bindings(),
+        aperiodic_arrivals={AUTOMOTIVE_APERIODIC: [arrival]},
+    )
+    if mpic_ack_timeout is not None:
+        proto.soc.intc.ack_timeout = mpic_ack_timeout
+    proto.run(horizon)
+    metrics = compute_metrics(proto.finished_jobs, horizon // scale)
+    response = proto.to_full_scale(
+        int(metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
+    )
+    stats = proto.stats()
+    return {
+        "response_s": cycles_to_seconds(response),
+        "misses": metrics.deadline_misses,
+        "bus_utilization": round(stats["bus_utilization"], 4),
+        "context_switches": stats["context_switches"],
+        "mpic_timeouts": stats["mpic_timeouts"],
+    }
+
+
+# ------------------------------------------------------------------ ablations
+def context_cost_sweep(multipliers: Sequence[int] = (1, 10, 100, 1000)) -> SweepResult:
+    """Response vs context-switch cost (primitive + regfile scaled)."""
+
+    def measure(multiplier: int) -> Dict[str, Any]:
+        base = KernelCosts()
+        costs = KernelCosts(
+            context_primitive=base.context_primitive * multiplier,
+            regfile_words=base.regfile_words * multiplier,
+        )
+        return prototype_response_s(costs=costs)
+
+    return sweep(measure, {"multiplier": list(multipliers)})
+
+
+def traffic_intensity_sweep(
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
+) -> SweepResult:
+    """Response vs shared-memory traffic density (x the characterised
+    profiles; 1.0 = calibrated)."""
+
+    def measure(traffic: float) -> Dict[str, Any]:
+        bindings = {}
+        for name, binding in automotive_bindings().items():
+            period = max(20, int(round(binding.profile.access_period / traffic)))
+            bindings[name] = TaskBinding(
+                profile=ExecutionProfile(access_period=period,
+                                         access_words=binding.profile.access_words),
+                stack_words=binding.stack_words,
+            )
+        return prototype_response_s(bindings=bindings)
+
+    return sweep(measure, {"traffic": list(scales)})
+
+
+def processor_scaling_sweep(
+    cpus: Sequence[int] = (2, 3, 4), utilization: float = 0.5
+) -> SweepResult:
+    """Response vs processor count at fixed per-cpu utilization."""
+
+    def measure(n_cpus: int) -> Dict[str, Any]:
+        return prototype_response_s(n_cpus=n_cpus, utilization=utilization)
+
+    return sweep(measure, {"n_cpus": list(cpus)})
+
+
+def mpic_timeout_sweep(
+    timeouts: Sequence[int] = (50, 500, 5_000, 50_000)
+) -> SweepResult:
+    """Response vs the MPIC acknowledge timeout (re-routing window)."""
+
+    def measure(ack_timeout: int) -> Dict[str, Any]:
+        return prototype_response_s(mpic_ack_timeout=ack_timeout)
+
+    return sweep(measure, {"ack_timeout": list(timeouts)})

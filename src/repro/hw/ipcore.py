@@ -1,0 +1,125 @@
+"""Offloadable IP cores with booked completion interrupts.
+
+Section 3.2's motivation for *booking*: "if a processor offloads a
+function to an intellectual property core, we may want that the same
+processor that started the computation manage the read-back of the
+results.  Thus, with booking the interrupt that signals the end of the
+IP core work is propagated only to a designated processor."
+
+This models such an accelerator: a processor writes a job descriptor
+over the bus, the core computes for a configurable latency, and raises
+its (booked) interrupt when the results are ready for read-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.hw.bus import OPBBus, RegisterTarget
+from repro.hw.intc import InterruptMode, MultiprocessorInterruptController
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class OffloadJob:
+    """One accelerator invocation."""
+
+    job_id: int
+    submitted_by: int
+    submitted_at: int
+    latency: int
+    payload: Any = None
+    completed_at: Optional[int] = None
+    result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+class IPCore:
+    """A fixed-function accelerator on the OPB.
+
+    Parameters
+    ----------
+    compute:
+        Optional function payload -> result evaluated at completion
+        (models the accelerated function, e.g. an FFT or a CRC).
+    latency:
+        Cycles from submission to completion interrupt.
+    """
+
+    #: Words written to submit a descriptor / read back the results.
+    DESCRIPTOR_WORDS = 4
+    RESULT_WORDS = 4
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: OPBBus,
+        intc: MultiprocessorInterruptController,
+        name: str = "ip-core",
+        latency: int = 2_000,
+        compute: Optional[Callable[[Any], Any]] = None,
+    ):
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        self.sim = sim
+        self.bus = bus
+        self.intc = intc
+        self.name = name
+        self.latency = latency
+        self.compute = compute
+        self.registers = RegisterTarget(name=name, latency=3)
+        self.source = intc.add_source(name, mode=InterruptMode.DISTRIBUTE)
+        self.jobs: List[OffloadJob] = []
+        self._busy = False
+        self._next_id = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is in flight (single-context core)."""
+        return self._busy
+
+    def submit(self, cpu: int, payload: Any = None):
+        """Generator: offload a job from ``cpu``.
+
+        Books the completion interrupt to the submitting processor,
+        writes the descriptor over the bus, and starts the computation.
+        Returns the :class:`OffloadJob` handle.
+        """
+        if self._busy:
+            raise RuntimeError(f"{self.name} is busy; single-context core")
+        self._busy = True
+        self.intc.book(self.source, cpu)
+        yield from self.bus.transfer(cpu, self.registers, self.DESCRIPTOR_WORDS)
+        job = OffloadJob(
+            job_id=self._next_id,
+            submitted_by=cpu,
+            submitted_at=self.sim.now,
+            latency=self.latency,
+            payload=payload,
+        )
+        self._next_id += 1
+        self.jobs.append(job)
+        self.sim.schedule(self.latency, lambda: self._complete(job))
+        return job
+
+    def _complete(self, job: OffloadJob) -> None:
+        job.completed_at = self.sim.now
+        if self.compute is not None:
+            job.result = self.compute(job.payload)
+        self._busy = False
+        self.intc.raise_interrupt(
+            self.source,
+            payload={"kind": "ipcore", "core": self.name, "job": job.job_id},
+        )
+
+    def read_back(self, cpu: int, job: OffloadJob):
+        """Generator: fetch the results over the bus (the booked
+        processor's interrupt handler calls this)."""
+        if not job.done:
+            raise RuntimeError(f"job {job.job_id} not completed yet")
+        yield from self.bus.transfer(cpu, self.registers, self.RESULT_WORDS)
+        return job.result

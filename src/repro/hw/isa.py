@@ -1,0 +1,306 @@
+"""A MicroBlaze-subset instruction set and cycle-counting executor.
+
+The scheduling experiments use profile-driven execution, but the
+substrate itself is instruction-accurate for small programs: this
+module defines a 32-register RISC subset close to the MicroBlaze ISA
+(3-operand ALU ops, immediate forms, word loads/stores, compare and
+branch, unconditional branch, halt) and an executor that runs a
+program on a :class:`~repro.hw.microblaze.MicroBlaze`, paying
+
+- 1 cycle per issued instruction (the MicroBlaze 3-stage pipeline
+  approximates CPI 1 for ALU work),
+- a taken-branch penalty of 2 extra cycles (pipeline flush),
+- instruction-cache lookup per fetch: hits are covered by the base
+  cycle, misses refill a line from DDR over the arbitrated bus,
+- data access time by region: local BRAM 1 cycle, DDR over the bus.
+
+Used by the substrate unit tests, the MPIC/sync-engine integration
+tests and the bus-contention calibration microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.memory import DDRMemory, LocalBRAM, MemoryError_, WordStorage
+from repro.hw.microblaze import MicroBlaze
+
+#: Mask for 32-bit wrap-around arithmetic.
+MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    label: Optional[str] = None  # symbolic target before linking
+
+    def __str__(self) -> str:
+        return f"{self.op} rd=r{self.rd} ra=r{self.ra} rb=r{self.rb} imm={self.imm}"
+
+
+#: opcode -> (operand signature) used by the assembler and executor.
+#: signatures: R=register, I=immediate, L=label.
+OPCODES: Dict[str, str] = {
+    "add": "RRR",
+    "sub": "RRR",   # rd = ra - rb
+    "rsub": "RRR",  # rd = rb - ra (MicroBlaze style)
+    "mul": "RRR",
+    "and": "RRR",
+    "or": "RRR",
+    "xor": "RRR",
+    "sll": "RRR",
+    "srl": "RRR",
+    "sra": "RRR",
+    "cmp": "RRR",   # rd = sign(rb - ra) style signed compare
+    "addi": "RRI",
+    "subi": "RRI",
+    "muli": "RRI",
+    "andi": "RRI",
+    "ori": "RRI",
+    "xori": "RRI",
+    "slli": "RRI",
+    "srli": "RRI",
+    "srai": "RRI",
+    "lw": "RRR",    # rd = mem[ra + rb]
+    "lwi": "RRI",   # rd = mem[ra + imm]
+    "sw": "RRR",    # mem[ra + rb] = rd
+    "swi": "RRI",   # mem[ra + imm] = rd
+    "beqz": "RL",   # branch if rd == 0
+    "bnez": "RL",
+    "bltz": "RL",
+    "blez": "RL",
+    "bgtz": "RL",
+    "bgez": "RL",
+    "br": "L",
+    "brl": "RL",   # branch-and-link: rd = return index, jump to label
+    "jr": "R",     # jump to the instruction index held in rd
+    "nop": "",
+    "halt": "",
+}
+
+#: Extra cycles paid when a branch is taken (pipeline refill).
+BRANCH_PENALTY = 2
+
+
+class ISAError(Exception):
+    """Decode or execution fault."""
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus initial data image.
+
+    ``base`` is the load address of the text section (instruction i
+    lives at ``base + 4*i`` for cache purposes).  ``data`` maps
+    absolute word addresses to initial values.
+    """
+
+    instructions: List[Instruction]
+    base: int = 0x4000_0000
+    data: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, index: int) -> int:
+        return self.base + 4 * index
+
+
+class CPUState:
+    """Architectural state of one executing program."""
+
+    def __init__(self):
+        self.regs = [0] * 32
+        self.pc = 0  # instruction index, not byte address
+        self.halted = False
+        self.instructions_retired = 0
+
+    def read(self, reg: int) -> int:
+        if not 0 <= reg < 32:
+            raise ISAError(f"register r{reg} out of range")
+        return 0 if reg == 0 else self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if not 0 <= reg < 32:
+            raise ISAError(f"register r{reg} out of range")
+        if reg != 0:  # r0 is hardwired to zero
+            self.regs[reg] = value & MASK32
+
+
+class ISAExecutor:
+    """Runs a :class:`Program` on a core, cycle-accounted.
+
+    Parameters
+    ----------
+    core:
+        The MicroBlaze whose cache/bus/local memory are used.
+    program:
+        Assembled program.  Data words are loaded into DDR (or the
+        region owning their address) before execution.
+    """
+
+    def __init__(self, core: MicroBlaze, program: Program):
+        self.core = core
+        self.program = program
+        self.state = CPUState()
+        self.cycles = 0
+        self.icache_misses = 0
+        self.data_accesses = 0
+        for addr, value in program.data.items():
+            self._region_for(addr).write_word(addr, value)
+
+    # -------------------------------------------------------------- memory map
+    def _region_for(self, addr: int) -> WordStorage:
+        if self.core.local_mem.contains(addr):
+            return self.core.local_mem
+        if self.core.ddr.contains(addr):
+            return self.core.ddr
+        raise ISAError(f"address {addr:#x} maps to no memory region")
+
+    def _data_access(self, addr: int, value: Optional[int] = None):
+        """Generator: load (value None) or store through the right port."""
+        region = self._region_for(addr)
+        self.data_accesses += 1
+        if isinstance(region, LocalBRAM):
+            yield self.core.sim.timeout(region.access_latency(1))
+            self.cycles += region.access_latency(1)
+            if value is None:
+                return region.read_word(addr)
+            region.write_word(addr, value)
+            return None
+        # Shared DDR: arbitrated bus transaction.
+        start = self.core.sim.now
+        yield from self.core.bus.transfer(self.core.cpu_id, region, words=1)
+        self.cycles += self.core.sim.now - start
+        if value is None:
+            return region.read_word(addr)
+        region.write_word(addr, value)
+        return None
+
+    def _fetch(self, index: int):
+        """Generator: instruction fetch with I-cache."""
+        addr = self.program.address_of(index)
+        if self.core.icache.lookup(addr):
+            return
+        self.icache_misses += 1
+        start = self.core.sim.now
+        yield from self.core.bus.transfer(
+            self.core.cpu_id, self.core.ddr, words=self.core.icache.line_words
+        )
+        self.core.icache.fill_line(addr)
+        self.cycles += self.core.sim.now - start
+
+    # ---------------------------------------------------------------- execution
+    def run(self, max_instructions: int = 1_000_000):
+        """Generator: execute until halt or the instruction budget ends.
+
+        Returns the CPUState (also available as ``self.state``).
+        """
+        state = self.state
+        program = self.program
+        while not state.halted:
+            if state.instructions_retired >= max_instructions:
+                raise ISAError(
+                    f"instruction budget {max_instructions} exhausted at pc={state.pc}"
+                )
+            if not 0 <= state.pc < len(program.instructions):
+                raise ISAError(f"pc {state.pc} outside program")
+            yield from self._fetch(state.pc)
+            instr = program.instructions[state.pc]
+            yield self.core.sim.timeout(1)
+            self.cycles += 1
+            state.instructions_retired += 1
+            next_pc = state.pc + 1
+            taken = False
+
+            op = instr.op
+            if op == "nop":
+                pass
+            elif op == "halt":
+                state.halted = True
+            elif op in ("add", "sub", "rsub", "mul", "and", "or", "xor", "sll", "srl", "sra", "cmp"):
+                a, b = state.read(instr.ra), state.read(instr.rb)
+                state.write(instr.rd, self._alu(op, a, b))
+            elif op in ("addi", "subi", "muli", "andi", "ori", "xori", "slli", "srli", "srai"):
+                a = state.read(instr.ra)
+                state.write(instr.rd, self._alu(op.rstrip("i"), a, instr.imm & MASK32))
+            elif op in ("lw", "lwi"):
+                offset = state.read(instr.rb) if op == "lw" else instr.imm
+                addr = (state.read(instr.ra) + offset) & MASK32
+                value = yield from self._data_access(addr)
+                state.write(instr.rd, value)
+            elif op in ("sw", "swi"):
+                offset = state.read(instr.rb) if op == "sw" else instr.imm
+                addr = (state.read(instr.ra) + offset) & MASK32
+                yield from self._data_access(addr, value=state.read(instr.rd))
+            elif op in ("beqz", "bnez", "bltz", "blez", "bgtz", "bgez"):
+                value = _signed(state.read(instr.rd))
+                taken = {
+                    "beqz": value == 0,
+                    "bnez": value != 0,
+                    "bltz": value < 0,
+                    "blez": value <= 0,
+                    "bgtz": value > 0,
+                    "bgez": value >= 0,
+                }[op]
+                if taken:
+                    next_pc = instr.imm
+            elif op == "br":
+                taken = True
+                next_pc = instr.imm
+            elif op == "brl":
+                state.write(instr.rd, next_pc)
+                taken = True
+                next_pc = instr.imm
+            elif op == "jr":
+                taken = True
+                next_pc = state.read(instr.rd)
+            else:  # pragma: no cover - decoder rejects unknown ops
+                raise ISAError(f"unknown opcode {op}")
+
+            if taken:
+                yield self.core.sim.timeout(BRANCH_PENALTY)
+                self.cycles += BRANCH_PENALTY
+            state.pc = next_pc
+        return state
+
+    @staticmethod
+    def _alu(op: str, a: int, b: int) -> int:
+        if op == "add":
+            return (a + b) & MASK32
+        if op == "sub":
+            return (a - b) & MASK32
+        if op == "rsub":
+            return (b - a) & MASK32
+        if op == "mul":
+            return (a * b) & MASK32
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op in ("sll", "sll"):
+            return (a << (b & 31)) & MASK32
+        if op == "srl":
+            return (a & MASK32) >> (b & 31)
+        if op == "sra":
+            return (_signed(a) >> (b & 31)) & MASK32
+        if op == "cmp":
+            diff = _signed(b) - _signed(a)
+            return diff & MASK32
+        raise ISAError(f"unknown ALU op {op}")

@@ -1,0 +1,237 @@
+"""The MicroBlaze soft-core model.
+
+A core executes *nominal* work cycles -- the standalone, uncontended
+execution time of a task -- while reproducing the shared-bus traffic
+that execution implies.  The paper's measured slowdown comes from two
+physical effects that this model carries:
+
+1. every shared-memory transaction (instruction-cache refills and
+   shared-data accesses, both served by the DDR behind the OPB) must
+   win arbitration against the other cores, so waiting cycles stretch
+   real time beyond nominal time;
+2. context switches move register files and stacks through shared
+   memory (see :mod:`repro.kernel.context`), adding both latency and
+   more bus traffic.
+
+The core also exposes the single MicroBlaze interrupt input wired to
+the MPIC, with the enable/disable semantics the controller's
+fixed-priority-timeout scheme relies on.
+
+Execution comes in two flavours:
+
+- :meth:`execute` -- profile-driven nominal-cycle segments used by the
+  microkernel (interruptible, chunked);
+- :meth:`run_program` -- instruction-accurate execution of
+  :mod:`repro.hw.isa` programs, used by the substrate tests and the
+  calibration microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.hw.bus import OPBBus
+from repro.hw.cache import DirectMappedICache
+from repro.hw.memory import DDRMemory, LocalBRAM
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Shared-memory traffic characterisation of a task.
+
+    ``access_period``: one shared (DDR) transaction every this many
+    nominal cycles.  ``access_words``: words moved per transaction
+    (cache-line refills and shared-data bursts folded together).  The
+    nominal bus occupancy a core imposes is therefore
+    ``latency(access_words) / access_period``.
+    """
+
+    access_period: int = 100
+    access_words: int = 4
+
+    def __post_init__(self):
+        if self.access_period <= 0:
+            raise ValueError("access_period must be positive")
+        if self.access_words <= 0:
+            raise ValueError("access_words must be positive")
+
+    def nominal_bus_share(self, ddr: DDRMemory) -> float:
+        """Fraction of the bus one core at this profile keeps busy."""
+        return ddr.access_latency(self.access_words) / self.access_period
+
+
+#: Default profile for code that was not characterised.
+DEFAULT_PROFILE = ExecutionProfile(access_period=120, access_words=4)
+
+
+class SegmentResult:
+    """Progress report for an (possibly interrupted) execute() call."""
+
+    def __init__(self):
+        self.nominal_done = 0
+        self.real_cycles = 0
+        self.wait_cycles = 0
+        self.completed = False
+
+
+class MicroBlaze:
+    """One soft core: interrupt input, caches, private memory, bus port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu_id: int,
+        bus: OPBBus,
+        ddr: DDRMemory,
+        local_mem: Optional[LocalBRAM] = None,
+        icache: Optional[DirectMappedICache] = None,
+        chunk_cycles: int = 2_000,
+    ):
+        if chunk_cycles <= 0:
+            raise ValueError("chunk_cycles must be positive")
+        self.sim = sim
+        self.cpu_id = cpu_id
+        self.bus = bus
+        self.ddr = ddr
+        self.local_mem = local_mem or LocalBRAM(cpu_id)
+        self.icache = icache or DirectMappedICache(cpu_id)
+        self.chunk_cycles = chunk_cycles
+
+        # Interrupt input (single line, like the real MicroBlaze).
+        self.interrupts_enabled = True
+        self.line_asserted = False
+        self._irq_waiters: List[Event] = []
+        self._enable_listeners: List[Callable[[bool], None]] = []
+
+        # Statistics.
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self.nominal_cycles = 0
+        self.stall_cycles = 0
+        self._access_residue = 0.0
+
+    # -------------------------------------------------------------- interrupts
+    def on_interrupt_line(self, asserted: bool) -> None:
+        """Wired to the MPIC: the controller drives the line."""
+        self.line_asserted = asserted
+        if asserted and self.interrupts_enabled:
+            self._wake_irq_waiters()
+
+    def enable_interrupts(self) -> None:
+        self.interrupts_enabled = True
+        for listener in self._enable_listeners:
+            listener(True)
+        if self.line_asserted:
+            self._wake_irq_waiters()
+
+    def disable_interrupts(self) -> None:
+        self.interrupts_enabled = False
+        for listener in self._enable_listeners:
+            listener(False)
+
+    def add_enable_listener(self, listener: Callable[[bool], None]) -> None:
+        """The MPIC mirrors the core's IE bit through this hook."""
+        self._enable_listeners.append(listener)
+
+    def irq_event(self) -> Event:
+        """Event that fires when an interrupt is deliverable.
+
+        Fires immediately if the line is already asserted with
+        interrupts enabled.
+        """
+        event = Event(self.sim, name=f"cpu{self.cpu_id}.irq")
+        if self.line_asserted and self.interrupts_enabled:
+            event.succeed()
+        else:
+            self._irq_waiters.append(event)
+        return event
+
+    def _wake_irq_waiters(self) -> None:
+        waiters, self._irq_waiters = self._irq_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    # ---------------------------------------------------------------- execution
+    def execute(
+        self,
+        nominal_cycles: int,
+        profile: ExecutionProfile = DEFAULT_PROFILE,
+        result: Optional[SegmentResult] = None,
+    ):
+        """Generator: execute ``nominal_cycles`` of task work.
+
+        Splits work into chunks; each chunk spends its local-compute
+        portion as a plain timeout and issues its shared-memory
+        transactions through the arbitrated bus.  Progress lands in
+        ``result`` after every chunk, so an interrupting caller can see
+        exactly how much nominal work completed (chunks are atomic).
+        """
+        if nominal_cycles < 0:
+            raise ValueError("nominal_cycles must be non-negative")
+        if result is None:
+            result = SegmentResult()
+        txn_latency = self.ddr.access_latency(profile.access_words)
+        remaining = nominal_cycles
+        while remaining > 0:
+            chunk = min(self.chunk_cycles, remaining)
+            exact = chunk / profile.access_period + self._access_residue
+            n_txn = int(exact)
+            self._access_residue = exact - n_txn
+            bus_nominal = n_txn * txn_latency
+            local = max(0, chunk - bus_nominal)
+            start = self.sim.now
+            try:
+                if local:
+                    yield self.sim.timeout(local)
+                for _ in range(n_txn):
+                    yield from self.bus.transfer(
+                        self.cpu_id, self.ddr, profile.access_words
+                    )
+            except BaseException:
+                # Interrupted mid-chunk: credit the nominal progress the
+                # elapsed time represents (a real core loses only the
+                # in-flight instruction, not the whole quantum).
+                elapsed = self.sim.now - start
+                done = min(chunk, elapsed)
+                result.nominal_done += done
+                result.real_cycles += elapsed
+                result.wait_cycles += max(0, elapsed - done)
+                self.busy_cycles += elapsed
+                self.nominal_cycles += done
+                self.stall_cycles += max(0, elapsed - done)
+                raise
+            elapsed = self.sim.now - start
+            remaining -= chunk
+            result.nominal_done += chunk
+            result.real_cycles += elapsed
+            result.wait_cycles += max(0, elapsed - chunk)
+            self.busy_cycles += elapsed
+            self.nominal_cycles += chunk
+            self.stall_cycles += max(0, elapsed - chunk)
+        result.completed = True
+        return result
+
+    def idle(self, cycles: int):
+        """Generator: sit idle (accounted separately from busy time)."""
+        start = self.sim.now
+        yield self.sim.timeout(cycles)
+        self.idle_cycles += self.sim.now - start
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def utilization_stats(self) -> dict:
+        """Busy/idle/stall split of this core so far."""
+        return {
+            "cpu": self.cpu_id,
+            "busy": self.busy_cycles,
+            "idle": self.idle_cycles,
+            "nominal": self.nominal_cycles,
+            "stall": self.stall_cycles,
+        }
+
+    def __repr__(self) -> str:
+        return f"<MicroBlaze cpu{self.cpu_id}>"

@@ -1,0 +1,125 @@
+"""System-on-chip assembly: Figure 1 of the paper in one object.
+
+``SoC`` wires N MicroBlaze cores (each with local BRAM and I-cache) to
+the shared OPB, the DDR, the boot BRAM, the Synchronization Engine,
+the crossbar, the system timer and the multiprocessor interrupt
+controller, exactly mirroring the block diagram.  The microkernel in
+:mod:`repro.kernel` takes an SoC and runs on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.bus import OPBBus
+from repro.hw.cache import DirectMappedICache
+from repro.hw.crossbar import Crossbar
+from repro.hw.intc import InterruptMode, MultiprocessorInterruptController
+from repro.hw.memory import DDRMemory, LocalBRAM, SharedBRAM
+from repro.hw.microblaze import MicroBlaze
+from repro.hw.peripherals import CANInterface
+from repro.hw.sync_engine import SynchronizationEngine
+from repro.hw.timer import SystemTimer
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Build-time parameters of the prototype.
+
+    Defaults follow the paper: 50 MHz clock, scheduling tick 0.1 s
+    (= 5,000,000 cycles), per-core I-cache, DDR latency 12 cycles.
+    ``scale`` divides all *workload* times (not the structure) so that
+    full experiments stay tractable in pure Python while every ratio
+    the paper reports is preserved; scale=1 is the full-size system.
+    """
+
+    n_cpus: int = 2
+    clock_hz: int = 50_000_000
+    tick_cycles: int = 5_000_000
+    mpic_ack_timeout: int = 500
+    icache_lines: int = 256
+    icache_line_words: int = 8
+    local_mem_bytes: int = 64 * 1024
+    ddr_bytes: int = 16 * 1024 * 1024
+    chunk_cycles: int = 2_000
+
+    def __post_init__(self):
+        if self.n_cpus < 1:
+            raise ValueError("n_cpus must be >= 1")
+        if self.tick_cycles <= 0:
+            raise ValueError("tick_cycles must be positive")
+
+
+class SoC:
+    """The assembled multiprocessor."""
+
+    def __init__(self, config: SoCConfig, sim: Optional[Simulator] = None):
+        self.config = config
+        self.sim = sim or Simulator()
+
+        self.bus = OPBBus(self.sim, name="opb")
+        self.ddr = DDRMemory(size=config.ddr_bytes)
+        self.boot_bram = SharedBRAM()
+        self.sync_engine = SynchronizationEngine(self.sim)
+        self.crossbar = Crossbar(self.sim, n_ports=config.n_cpus)
+        self.intc = MultiprocessorInterruptController(
+            self.sim, n_cpus=config.n_cpus, ack_timeout=config.mpic_ack_timeout
+        )
+
+        self.cores: List[MicroBlaze] = []
+        for cpu in range(config.n_cpus):
+            core = MicroBlaze(
+                self.sim,
+                cpu_id=cpu,
+                bus=self.bus,
+                ddr=self.ddr,
+                local_mem=LocalBRAM(cpu, size=config.local_mem_bytes),
+                icache=DirectMappedICache(
+                    cpu,
+                    n_lines=config.icache_lines,
+                    line_words=config.icache_line_words,
+                ),
+                chunk_cycles=config.chunk_cycles,
+            )
+            self.intc.connect_cpu(cpu, core.on_interrupt_line)
+            core.add_enable_listener(
+                lambda enabled, cpu=cpu: self.intc.set_enabled(cpu, enabled)
+            )
+            self.cores.append(core)
+
+        self.timer = SystemTimer(
+            self.sim, self.intc, period=config.tick_cycles, name="system-timer"
+        )
+        self.peripherals: Dict[str, CANInterface] = {}
+
+    # -------------------------------------------------------------- builders
+    def add_can_interface(self, name: str, task_name: Optional[str] = None) -> CANInterface:
+        """Attach a CAN controller whose frames release ``task_name``."""
+        if name in self.peripherals:
+            raise ValueError(f"peripheral {name!r} already present")
+        can = CANInterface(self.sim, self.intc, name=name, task_name=task_name)
+        self.peripherals[name] = can
+        return can
+
+    # ---------------------------------------------------------------- queries
+    def core(self, cpu: int) -> MicroBlaze:
+        return self.cores[cpu]
+
+    def utilization_report(self) -> List[dict]:
+        """Per-core busy/idle/stall plus bus utilization."""
+        rows = [core.utilization_stats for core in self.cores]
+        rows.append(
+            {
+                "cpu": "bus",
+                "busy": self.bus.stats.busy_cycles,
+                "transactions": self.bus.stats.transactions,
+                "utilization": self.bus.stats.utilization(max(1, self.sim.now)),
+            }
+        )
+        return rows
+
+    def seconds(self, cycles: int) -> float:
+        """Convert cycles to wall seconds at the configured clock."""
+        return cycles / self.config.clock_hz

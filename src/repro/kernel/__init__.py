@@ -1,0 +1,19 @@
+"""The dual-priority real-time microkernel running on the SoC model.
+
+Implements Section 4.2 of the paper: the MPDP policy driven by the
+system timer through the MPIC, context switching through shared
+memory, IPI-triggered task changes, interrupt-released aperiodic jobs
+and completion-time self-service of the ready queues.
+"""
+
+from repro.kernel.context import ContextSwitchEngine, TaskContext
+from repro.kernel.costs import KernelCosts
+from repro.kernel.microkernel import DualPriorityMicrokernel, TaskBinding
+
+__all__ = [
+    "DualPriorityMicrokernel",
+    "TaskBinding",
+    "ContextSwitchEngine",
+    "TaskContext",
+    "KernelCosts",
+]

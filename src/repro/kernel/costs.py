@@ -1,0 +1,71 @@
+"""Kernel overhead model.
+
+Every kernel activity costs cycles on the processor executing it and,
+for queue manipulation, word traffic to the shared memory where the
+task tables live.  These constants are the calibration surface between
+the prototype and the theoretical simulator; the ablation benchmark
+``benchmarks/test_bench_ablations.py`` sweeps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Cycle costs of kernel paths (per invocation unless noted)."""
+
+    #: Interrupt entry: vector, prologue, MPIC acknowledge read.
+    irq_entry: int = 80
+    #: Interrupt exit: MPIC EOI write, epilogue, rfi.
+    irq_exit: int = 60
+    #: Scheduling cycle fixed part (timer handling, loop setup).
+    scheduler_base: int = 400
+    #: Per job moved between queues during a scheduling cycle.
+    scheduler_per_job: int = 60
+    #: Shared-memory words touched per queue operation (task table).
+    queue_op_words: int = 4
+    #: Releasing an aperiodic task from a peripheral interrupt.
+    aperiodic_release: int = 250
+    #: Completion handling (dequeue, re-arm, self-service check).
+    completion: int = 200
+    #: Raising one IPI through the MPIC registers.
+    ipi_raise: int = 40
+    #: Pure-code cycles of each half context switch (save or restore).
+    context_primitive: int = 150
+    #: Register-file words moved per context switch half (MicroBlaze: 32).
+    regfile_words: int = 32
+
+    def scheduler_cycle(self, jobs_moved: int) -> int:
+        """Processor cycles of one scheduling cycle body."""
+        return self.scheduler_base + self.scheduler_per_job * max(0, jobs_moved)
+
+    def scaled(self, scale: int) -> "KernelCosts":
+        """Costs for a workload-scaled run (see PrototypeSimulator).
+
+        When every workload time is divided by ``scale``, the fixed
+        kernel costs must shrink by the same factor or their *fraction*
+        of a tick would be exaggerated by ``scale``; each cost keeps a
+        floor of 1 cycle.
+        """
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        if scale == 1:
+            return self
+
+        def d(value: int) -> int:
+            return max(1, value // scale)
+
+        return KernelCosts(
+            irq_entry=d(self.irq_entry),
+            irq_exit=d(self.irq_exit),
+            scheduler_base=d(self.scheduler_base),
+            scheduler_per_job=d(self.scheduler_per_job),
+            queue_op_words=d(self.queue_op_words),
+            aperiodic_release=d(self.aperiodic_release),
+            completion=d(self.completion),
+            ipi_raise=d(self.ipi_raise),
+            context_primitive=d(self.context_primitive),
+            regfile_words=d(self.regfile_words),
+        )

@@ -1,0 +1,346 @@
+"""The dual-priority microkernel on the SoC model (Section 4.2).
+
+One cooperative process per core plays the role of that core's
+software stack: it executes the currently assigned job's nominal
+cycles through the arbitrated bus, takes interrupts from the MPIC
+(timer ticks, peripheral/aperiodic events, IPIs), runs the scheduling
+cycle when the system timer lands on it, self-serves the ready queues
+on task completion, and performs context switches through shared
+memory.  Kernel sections run with interrupts disabled, so the MPIC's
+fixed-priority-timeout scheme redistributes interrupts to free cores,
+exactly as in the paper ("if a processor is executing the scheduling
+cycle, or it is executing a context switch, it will not be burdened by
+the aperiodic task release").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mpdp import MPDPScheduler
+from repro.core.task import AperiodicTask, Job, TaskSet
+from repro.hw.intc import MultiprocessorInterruptController
+from repro.hw.microblaze import DEFAULT_PROFILE, ExecutionProfile, SegmentResult
+from repro.hw.soc import SoC
+from repro.kernel.context import ContextSwitchEngine, TaskContext
+from repro.kernel.costs import KernelCosts
+from repro.sim.events import Interrupt
+from repro.trace.recorder import TraceRecorder
+
+#: Sync-engine lock id protecting the kernel task tables.
+KERNEL_LOCK = 0
+
+
+@dataclass(frozen=True)
+class TaskBinding:
+    """Per-task execution characterisation for the hardware model."""
+
+    profile: ExecutionProfile = DEFAULT_PROFILE
+    stack_words: int = 256
+
+    def __post_init__(self):
+        if self.stack_words < 0:
+            raise ValueError("stack_words must be non-negative")
+
+
+class DualPriorityMicrokernel:
+    """MPDP microkernel bound to a :class:`~repro.hw.soc.SoC`."""
+
+    def __init__(
+        self,
+        soc: SoC,
+        taskset: TaskSet,
+        bindings: Optional[Dict[str, TaskBinding]] = None,
+        costs: Optional[KernelCosts] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.soc = soc
+        self.sim = soc.sim
+        self.taskset = taskset
+        self.n_cpus = soc.config.n_cpus
+        self.policy = MPDPScheduler(
+            taskset, self.n_cpus, promotion_granularity="tick"
+        )
+        self.bindings = dict(bindings or {})
+        self.costs = costs or KernelCosts()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        self.assigned: List[Optional[Job]] = [None] * self.n_cpus
+        self._current: List[Optional[Job]] = [None] * self.n_cpus
+        self._state: List[str] = ["boot"] * self.n_cpus
+        self._procs: List[Optional[object]] = [None] * self.n_cpus
+        self._context_engines = [
+            ContextSwitchEngine(
+                core,
+                primitive_overhead=self.costs.context_primitive,
+                regfile_words=self.costs.regfile_words,
+            )
+            for core in soc.cores
+        ]
+        self._aper_index: Dict[str, int] = {}
+
+        # Statistics.
+        self.context_switches = 0
+        self.scheduling_cycles = 0
+        self.aperiodic_releases = 0
+        self.irqs_serviced = 0
+        self._started = False
+
+    # ----------------------------------------------------------------- control
+    def start(self) -> None:
+        """Boot: wire interrupt hooks, spawn core loops, start the timer."""
+        if self._started:
+            raise RuntimeError("kernel already started")
+        self._started = True
+        for cpu in range(self.n_cpus):
+            self._wire_interrupt_hook(cpu)
+            self._procs[cpu] = self.sim.process(
+                self._cpu_loop(cpu), name=f"cpu{cpu}-loop"
+            )
+        self.soc.timer.start(first_tick=self.sim.now)
+
+    def run(self, until: int) -> None:
+        """Start (if needed) and simulate up to ``until`` cycles."""
+        if not self._started:
+            self.start()
+        self.sim.run(until=until)
+
+    @property
+    def finished_jobs(self) -> List[Job]:
+        return self.policy.finished_jobs
+
+    def release_aperiodic_via(self, peripheral_name: str, times) -> None:
+        """Program a CAN peripheral to release its task at these times."""
+        self.soc.peripherals[peripheral_name].program_frames(list(times))
+
+    # ----------------------------------------------------------- interrupt glue
+    def _wire_interrupt_hook(self, cpu: int) -> None:
+        core = self.soc.cores[cpu]
+        original = core.on_interrupt_line
+
+        def hook(asserted: bool) -> None:
+            original(asserted)
+            if not asserted:
+                return
+            if self._state[cpu] == "user" and core.interrupts_enabled:
+                proc = self._procs[cpu]
+                if proc is not None and proc.is_alive:
+                    proc.interrupt(
+                        "irq",
+                        guard=lambda: self._state[cpu] == "user"
+                        and core.interrupts_enabled,
+                    )
+
+        self.soc.intc.connect_cpu(cpu, hook)
+
+    # ------------------------------------------------------------- the cpu loop
+    def _cpu_loop(self, cpu: int):
+        core = self.soc.cores[cpu]
+        while True:
+            if self.assigned[cpu] is not self._current[cpu]:
+                self._enter_kernel(cpu)
+                yield from self._switch_to_assigned(cpu)
+                self._leave_kernel(cpu)
+                continue
+
+            job = self._current[cpu]
+            if job is None:
+                self._state[cpu] = "idle"
+                self.trace.record(self.sim.now, "idle", cpu=cpu)
+                yield core.irq_event()
+                self._enter_kernel(cpu)
+                yield from self._service_interrupts(cpu)
+                yield from self._switch_to_assigned(cpu)
+                self._leave_kernel(cpu)
+                continue
+
+            # Execute the current job, interruptibly.
+            self._state[cpu] = "user"
+            binding = self._binding_of(job)
+            segment = SegmentResult()
+            try:
+                yield from core.execute(job.remaining, binding.profile, segment)
+                job.remaining = 0
+                self._enter_kernel(cpu)
+                yield from self._on_completion(cpu, job)
+                yield from self._switch_to_assigned(cpu)
+                self._leave_kernel(cpu)
+            except Interrupt:
+                job.remaining -= segment.nominal_done
+                self._enter_kernel(cpu)
+                if job.remaining <= 0:
+                    # Finished in the very cycle the interrupt landed.
+                    job.remaining = 0
+                    yield from self._on_completion(cpu, job)
+                yield from self._service_interrupts(cpu)
+                yield from self._switch_to_assigned(cpu)
+                self._leave_kernel(cpu)
+
+    def _enter_kernel(self, cpu: int) -> None:
+        self._state[cpu] = "kernel"
+        self.soc.cores[cpu].disable_interrupts()
+
+    def _leave_kernel(self, cpu: int) -> None:
+        self.soc.cores[cpu].enable_interrupts()
+
+    # --------------------------------------------------------- interrupt service
+    def _service_interrupts(self, cpu: int):
+        """Drain and handle every interrupt pending for this cpu."""
+        core = self.soc.cores[cpu]
+        intc = self.soc.intc
+        while intc.pending_for(cpu):
+            # Acknowledge: MPIC register read over the OPB.
+            yield from core.bus.transfer(cpu, intc.REGISTERS, 1)
+            source, payload = intc.acknowledge(cpu)
+            yield self.sim.timeout(self.costs.irq_entry)
+            self.irqs_serviced += 1
+            kind = (payload or {}).get("kind", source.name)
+            self.trace.record(self.sim.now, "irq", cpu=cpu, info=str(kind))
+
+            if kind == "timer":
+                yield from self._scheduling_cycle(cpu)
+            elif kind == "aperiodic":
+                yield from self._aperiodic_release(cpu, payload)
+            elif kind == "ipi":
+                pass  # reconciliation below picks up the new assignment
+            else:
+                pass  # unknown peripherals are acknowledged and dropped
+
+            # End-of-interrupt: MPIC register write over the OPB.
+            yield from core.bus.transfer(cpu, intc.REGISTERS, 1)
+            intc.complete(cpu)
+            yield self.sim.timeout(self.costs.irq_exit)
+
+    # -------------------------------------------------------------- kernel paths
+    def _lock_kernel(self, cpu: int):
+        grant = self.soc.sync_engine.acquire(KERNEL_LOCK, cpu)
+        yield grant
+
+    def _unlock_kernel(self, cpu: int) -> None:
+        self.soc.sync_engine.release(KERNEL_LOCK, cpu)
+
+    def _queue_traffic(self, cpu: int, jobs_moved: int):
+        """Shared-memory task-table traffic for queue manipulation."""
+        words = self.costs.queue_op_words * max(1, jobs_moved)
+        core = self.soc.cores[cpu]
+        remaining = words
+        while remaining > 0:
+            burst = min(8, remaining)
+            yield from core.bus.transfer(cpu, core.ddr, burst)
+            remaining -= burst
+
+    def _scheduling_cycle(self, cpu: int):
+        """The timer-triggered scheduling cycle, run by one processor."""
+        yield from self._lock_kernel(cpu)
+        now = self.sim.now
+        released = self.policy.release_due(now)
+        promoted = self.policy.promote_due(now)
+        for job in released:
+            self.trace.record(now, "release", job=job.name)
+        for job in promoted:
+            self.trace.record(now, "promote", job=job.name)
+        moved = len(released) + len(promoted)
+        yield self.sim.timeout(self.costs.scheduler_cycle(moved))
+        yield from self._queue_traffic(cpu, moved)
+
+        allocation = self.policy.allocate(self.sim.now)
+        self.assigned = list(allocation.assignment)
+        self.scheduling_cycles += 1
+        self.trace.record(self.sim.now, "tick", cpu=cpu)
+        yield from self._notify_switches(cpu, allocation.switches)
+        self._unlock_kernel(cpu)
+
+    def _aperiodic_release(self, cpu: int, payload: dict):
+        """Release the aperiodic task named in the peripheral payload."""
+        task_name = (payload or {}).get("task")
+        if task_name is None:
+            return
+        task = self.taskset.by_name(task_name)
+        if not isinstance(task, AperiodicTask):
+            raise TypeError(f"{task_name} is not an aperiodic task")
+        index = self._aper_index.get(task_name, 0)
+        self._aper_index[task_name] = index + 1
+        job = Job(task, release=self.sim.now, index=index)
+
+        yield from self._lock_kernel(cpu)
+        yield self.sim.timeout(self.costs.aperiodic_release)
+        self.policy.add_aperiodic(job)
+        self.aperiodic_releases += 1
+        self.trace.record(self.sim.now, "release", job=job.name, info="aperiodic")
+        yield from self._queue_traffic(cpu, 1)
+
+        allocation = self.policy.allocate(self.sim.now)
+        self.assigned = list(allocation.assignment)
+        yield from self._notify_switches(cpu, allocation.switches)
+        self._unlock_kernel(cpu)
+
+    def _on_completion(self, cpu: int, job: Job):
+        """Task finished: re-arm, self-serve the queues, notify peers."""
+        yield from self._lock_kernel(cpu)
+        yield self.sim.timeout(self.costs.completion)
+        self.policy.job_finished(job, self.sim.now)
+        self.trace.record(self.sim.now, "finish", job=job.name, cpu=cpu)
+        self._current[cpu] = None
+        yield from self._queue_traffic(cpu, 1)
+
+        allocation = self.policy.allocate(self.sim.now)
+        self.assigned = list(allocation.assignment)
+        yield from self._notify_switches(cpu, allocation.switches)
+        self._unlock_kernel(cpu)
+
+    def _notify_switches(self, scheduler_cpu: int, switches: List[int]):
+        """IPI every processor whose assignment changed (except self)."""
+        core = self.soc.cores[scheduler_cpu]
+        for target in switches:
+            if target == scheduler_cpu:
+                continue
+            yield self.sim.timeout(self.costs.ipi_raise)
+            yield from core.bus.transfer(scheduler_cpu, self.soc.intc.REGISTERS, 1)
+            self.soc.intc.send_ipi(
+                scheduler_cpu, target, payload={"kind": "ipi"}
+            )
+
+    # ------------------------------------------------------------ context switch
+    def _switch_to_assigned(self, cpu: int):
+        """Bring the cpu's loaded context in line with the assignment."""
+        new = self.assigned[cpu]
+        old = self._current[cpu]
+        if new is old:
+            return
+        engine = self._context_engines[cpu]
+        old_ctx: Optional[TaskContext] = None
+        if old is not None and old.remaining > 0:
+            old_ctx = engine.context_of(
+                old.task.name, self._binding_of(old).stack_words
+            )
+            self.trace.record(self.sim.now, "preempt", job=old.name, cpu=cpu)
+        new_ctx: Optional[TaskContext] = None
+        if new is not None:
+            new_ctx = engine.context_of(
+                new.task.name, self._binding_of(new).stack_words
+            )
+        yield from engine.switch(old_ctx, new_ctx)
+        self._current[cpu] = new
+        if new is not None:
+            self.context_switches += 1
+            self.trace.record(self.sim.now, "switch", job=new.name, cpu=cpu)
+            self.trace.record(self.sim.now, "dispatch", job=new.name, cpu=cpu)
+
+    # ----------------------------------------------------------------- utilities
+    def _binding_of(self, job: Job) -> TaskBinding:
+        return self.bindings.get(job.task.name, TaskBinding())
+
+    def stats(self) -> dict:
+        """Kernel counters (used by experiments and tests)."""
+        return {
+            "context_switches": self.context_switches,
+            "scheduling_cycles": self.scheduling_cycles,
+            "aperiodic_releases": self.aperiodic_releases,
+            "irqs_serviced": self.irqs_serviced,
+            "bus_busy_cycles": self.soc.bus.stats.busy_cycles,
+            "bus_utilization": self.soc.bus.stats.utilization(max(1, self.sim.now)),
+            "mpic_delivered": self.soc.intc.delivered,
+            "mpic_timeouts": self.soc.intc.timeouts,
+            "ipis": self.soc.intc.ipis_sent,
+        }

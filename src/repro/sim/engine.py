@@ -1,0 +1,224 @@
+"""The simulator event loop and generator-based processes.
+
+Time is an integer number of clock cycles.  All hardware models in
+:mod:`repro.hw` and the microkernel in :mod:`repro.kernel` run on top of
+this loop.  Determinism matters for reproduction, so ties in the event
+queue are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.events import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer cycle time.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker(sim):
+    ...     yield sim.timeout(5)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(worker(sim))
+    >>> sim.run()
+    >>> log
+    [5]
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List[tuple] = []
+        self._eid = 0
+        self._stopped = False
+
+    # -- event factories ----------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh untriggered event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` cycles from now."""
+        return Timeout(self, int(delay), value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
+        """Spawn a cooperative process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any child event fires."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every child event has fired."""
+        return AllOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._push(time, callback)
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` cycles."""
+        self.schedule_at(self.now + int(delay), callback)
+
+    def _push(self, time: int, item: Any) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (time, self._eid, item))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue a triggered event's callbacks to run at the current time."""
+        self._push(self.now, event)
+
+    def _schedule_timeout(self, event: Timeout, delay: int) -> None:
+        self._push(self.now + delay, event)
+
+    # -- main loop -----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next queue entry, advancing ``now``."""
+        time, _eid, item = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("event queue time went backwards")
+        self.now = time
+        if isinstance(item, Event):
+            if item._state == PENDING:
+                # A timeout reaching its instant: trigger it now.
+                item._state = "triggered"
+            item._run_callbacks()
+        else:
+            item()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or ``now`` would pass ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until``
+        even if no event is scheduled there, so back-to-back ``run``
+        calls compose predictably.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                break
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop the loop after the current callback returns."""
+        self._stopped = True
+
+    @property
+    def pending_count(self) -> int:
+        """Number of entries still in the queue (diagnostic)."""
+        return len(self._heap)
+
+
+class Process(Event):
+    """A cooperative process driven by a generator.
+
+    The generator yields :class:`Event` instances; the process resumes
+    when the yielded event triggers.  The process is itself an event
+    that fires with the generator's return value, so processes can wait
+    on each other.  :meth:`interrupt` throws
+    :class:`~repro.sim.events.Interrupt` inside the generator at the
+    current simulation time, which is how preemption is modelled.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator (did you call the function?)")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time, but through the queue so that
+        # construction order stays deterministic.
+        start = Event(sim, name=f"{self.name}.start")
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None, guard: Optional[Callable[[], bool]] = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        ``guard`` is re-evaluated at the instant the throw would land;
+        if it returns False the interrupt is silently dropped.  This
+        closes same-cycle races where the target left the interruptible
+        region between the decision to interrupt and the delivery (the
+        kernel model uses it to never throw into kernel-mode code).
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+
+        def deliver(_evt: Event) -> None:
+            if self.triggered:
+                return
+            if guard is not None and not guard():
+                return
+            self._resume(None, throw=Interrupt(cause))
+
+        interrupt_event = Event(self.sim, name=f"{self.name}.interrupt")
+        interrupt_event.callbacks.append(deliver)
+        interrupt_event.succeed()
+
+    # -- internal -------------------------------------------------------------
+    def _resume(self, event: Optional[Event], throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        # Detach from whatever we were waiting on (interrupt case).
+        if self._waiting_on is not None and self._waiting_on is not event:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            elif event is not None and event is not self and not event.ok:
+                target = self._generator.throw(event.value)
+            else:
+                value = event.value if isinstance(event, Event) and event.triggered else None
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # Process let the interrupt escape: treat as termination.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # propagate failures to waiters
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                raise
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        self._waiting_on = target
+        if target._state == PENDING or not target.processed:
+            target.callbacks.append(self._resume)
+        else:
+            # Already processed event: resume immediately via queue.
+            wake = Event(self.sim, name=f"{self.name}.wake")
+            wake.callbacks.append(lambda _evt: self._resume(target))
+            wake.succeed()

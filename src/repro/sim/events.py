@@ -1,0 +1,176 @@
+"""Event primitives for the discrete-event kernel.
+
+Events are one-shot: they may be *succeeded* (or *failed*) exactly once,
+after which their callbacks run inside the simulator loop.  Processes
+(see :mod:`repro.sim.engine`) wait on events by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` carries arbitrary user data (for the kernel model this
+    is typically the preemption reason, e.g. ``"ipi"`` or
+    ``"promotion"``).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional label used in tracebacks and ``repr``.
+    """
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None):  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._state = PENDING
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have been executed."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload passed to :meth:`succeed` or :meth:`fail`."""
+        if self._state == PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks now."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiting processes see the exception."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._queue_event(self)
+        return self
+
+    # -- internal ----------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        return f"<{label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` cycles in the future.
+
+    It stays *pending* until its scheduled instant (so composite
+    AnyOf/AllOf conditions treat it correctly) and is triggered by the
+    simulator loop when its queue entry is reached.
+    """
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None, name: Optional[str] = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"Timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule_timeout(self, delay)
+
+
+class ConditionEvent(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: List[Event], name: str):  # noqa: F821
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        if not self.events:
+            # Degenerate condition: trivially satisfied.
+            self.succeed({})
+            return
+        self._done = 0
+        for event in self.events:
+            if event.triggered:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed({e: e.value for e in self.events if e.triggered and e.ok})
+
+
+class AnyOf(ConditionEvent):
+    """Fires when any constituent event fires."""
+
+    def __init__(self, sim, events):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1
+
+
+class AllOf(ConditionEvent):
+    """Fires when all constituent events have fired."""
+
+    def __init__(self, sim, events):
+        super().__init__(sim, events, name="AllOf")
+
+    def _satisfied(self) -> bool:
+        return self._done == len(self.events)

@@ -1,0 +1,40 @@
+"""End-to-end simulators.
+
+- :mod:`repro.simulators.theoretical` -- the paper's comparison
+  baseline: MPDP with idealised hardware and a small uniform overhead
+  (2 %) for context switching and contention;
+- :mod:`repro.simulators.prototype` -- the full-system run: the
+  microkernel of :mod:`repro.kernel` on the SoC of :mod:`repro.hw`;
+- :mod:`repro.simulators.baselines` -- classical alternatives
+  (partitioned fixed-priority with background aperiodics, global
+  fixed-priority, global EDF) for the ablation benchmarks.
+"""
+
+from repro.simulators.batch import ReplicationSummary, compare, replicate
+from repro.simulators.theoretical import TheoreticalSimulator
+from repro.simulators.validation import TaskComparison, ValidationResult, validate
+from repro.simulators.prototype import PrototypeSimulator, PrototypeConfig
+from repro.simulators.baselines import (
+    BaselinePolicy,
+    GlobalEDFPolicy,
+    GlobalFixedPriorityPolicy,
+    MultiprocessorSimulator,
+    PartitionedFixedPriorityPolicy,
+)
+
+__all__ = [
+    "TheoreticalSimulator",
+    "PrototypeSimulator",
+    "PrototypeConfig",
+    "MultiprocessorSimulator",
+    "BaselinePolicy",
+    "PartitionedFixedPriorityPolicy",
+    "GlobalFixedPriorityPolicy",
+    "GlobalEDFPolicy",
+    "replicate",
+    "compare",
+    "ReplicationSummary",
+    "validate",
+    "ValidationResult",
+    "TaskComparison",
+]

@@ -1,0 +1,89 @@
+"""Trace and metrics export (JSON / CSV).
+
+The experiments print human-readable tables; downstream users often
+want machine-readable artefacts instead, so traces and metrics can be
+dumped and reloaded losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.metrics import ScheduleMetrics
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+
+def trace_to_dicts(trace: TraceRecorder) -> List[dict]:
+    """Events as plain dictionaries (stable key order)."""
+    return [
+        {
+            "time": e.time,
+            "kind": e.kind,
+            "job": e.job,
+            "cpu": e.cpu,
+            "info": e.info,
+        }
+        for e in trace
+    ]
+
+
+def trace_to_json(trace: TraceRecorder, indent: Optional[int] = None) -> str:
+    """Serialise a trace to JSON."""
+    return json.dumps(trace_to_dicts(trace), indent=indent)
+
+
+def trace_from_json(text: str) -> TraceRecorder:
+    """Rebuild a trace from :func:`trace_to_json` output."""
+    trace = TraceRecorder()
+    for row in json.loads(text):
+        trace.events.append(
+            TraceEvent(
+                time=row["time"],
+                kind=row["kind"],
+                job=row.get("job"),
+                cpu=row.get("cpu"),
+                info=row.get("info"),
+            )
+        )
+    return trace
+
+
+def trace_to_csv(trace: TraceRecorder) -> str:
+    """Serialise a trace to CSV (header + one row per event)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time", "kind", "job", "cpu", "info"])
+    for e in trace:
+        writer.writerow([e.time, e.kind, e.job or "", e.cpu if e.cpu is not None else "", e.info or ""])
+    return buffer.getvalue()
+
+
+def metrics_to_dict(metrics: ScheduleMetrics) -> dict:
+    """Metrics as a JSON-ready dictionary."""
+    return {
+        "horizon": metrics.horizon,
+        "finished_jobs": metrics.finished_jobs,
+        "deadline_misses": metrics.deadline_misses,
+        "preemptions": metrics.preemptions,
+        "migrations": metrics.migrations,
+        "context_switches": metrics.context_switches,
+        "promotions": metrics.promotions,
+        "per_cpu_busy": {str(cpu): busy for cpu, busy in metrics.per_cpu_busy.items()},
+        "response": {
+            task: {
+                "count": stats.count,
+                "mean": stats.mean,
+                "min": stats.minimum,
+                "max": stats.maximum,
+                "stdev": stats.stdev,
+            }
+            for task, stats in metrics.response.items()
+        },
+    }
+
+
+def metrics_to_json(metrics: ScheduleMetrics, indent: Optional[int] = None) -> str:
+    return json.dumps(metrics_to_dict(metrics), indent=indent)

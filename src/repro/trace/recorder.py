@@ -1,0 +1,127 @@
+"""Structured schedule traces.
+
+Every simulator (theoretical, prototype, baselines) emits the same
+event vocabulary so metrics and Gantt rendering are shared:
+
+==============  =============================================
+kind            meaning
+==============  =============================================
+``release``     periodic job released / aperiodic job arrived
+``dispatch``    job starts or resumes on a cpu
+``preempt``     job loses its cpu with work remaining
+``finish``      job completes
+``promote``     job moves to the upper band
+``migrate``     job resumes on a different cpu than before
+``tick``        scheduling cycle ran (cpu = scheduler cpu)
+``irq``         interrupt delivered to a cpu
+``switch``      context switch performed on a cpu
+``idle``        cpu went idle
+==============  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One schedule event."""
+
+    time: int
+    kind: str
+    job: Optional[str] = None
+    cpu: Optional[int] = None
+    info: Optional[str] = None
+
+    def __str__(self) -> str:
+        cpu = f" cpu{self.cpu}" if self.cpu is not None else ""
+        job = f" {self.job}" if self.job else ""
+        info = f" ({self.info})" if self.info else ""
+        return f"[{self.time:>12}]{cpu} {self.kind}{job}{info}"
+
+
+KINDS = {
+    "release",
+    "dispatch",
+    "preempt",
+    "finish",
+    "promote",
+    "migrate",
+    "tick",
+    "irq",
+    "switch",
+    "idle",
+}
+
+
+class TraceRecorder:
+    """Append-only event log with simple queries."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: int,
+        kind: str,
+        job: Optional[str] = None,
+        cpu: Optional[int] = None,
+        info: Optional[str] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        if kind not in KINDS:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        self.events.append(TraceEvent(time=time, kind=kind, job=job, cpu=cpu, info=info))
+
+    # ------------------------------------------------------------------ queries
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_job(self, job_name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.job == job_name]
+
+    def between(self, start: int, end: int) -> List[TraceEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def busy_intervals(self, horizon: Optional[int] = None) -> Dict[int, List[tuple]]:
+        """Per-cpu list of (start, end, job) execution intervals.
+
+        Reconstructed from dispatch/preempt/finish events; an open
+        interval at the end of the trace is closed at ``horizon`` (or
+        the last event time).
+        """
+        last = max((e.time for e in self.events), default=0)
+        horizon = horizon if horizon is not None else last
+        open_run: Dict[int, tuple] = {}
+        intervals: Dict[int, List[tuple]] = {}
+        for event in self.events:
+            if event.kind == "dispatch" and event.cpu is not None:
+                if event.cpu in open_run:
+                    start, job = open_run.pop(event.cpu)
+                    intervals.setdefault(event.cpu, []).append((start, event.time, job))
+                open_run[event.cpu] = (event.time, event.job)
+            elif event.kind in ("preempt", "finish", "idle"):
+                cpu = event.cpu
+                if cpu is not None and cpu in open_run:
+                    start, job = open_run.pop(cpu)
+                    if event.time > start:
+                        intervals.setdefault(cpu, []).append((start, event.time, job))
+        for cpu, (start, job) in open_run.items():
+            if horizon > start:
+                intervals.setdefault(cpu, []).append((start, horizon, job))
+        return intervals
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Readable log (used by examples and debugging)."""
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)

@@ -1,0 +1,135 @@
+"""The paper's evaluation workload: 18 periodic tasks + 1 aperiodic.
+
+"We run a total of 19 tasks on the system, 18 periodic and 1
+aperiodic.  The aperiodic task is the susan benchmark with the large
+dataset ... All the other applications are executed as periodic
+benchmarks running in parallel on the system with different datasets
+(small and large).  Periodic utilization is determined varying the
+periods of the applications in accordance to their critical deadline."
+
+The 18 periodic tasks: basicmath's three programs x {small, large}
+(6), bitcount's five counters x {small, large} (10) and qsort x
+{small, large} (2).  Base periods reflect each group's role (sensor
+checks fast, sorting slow); a single uniform period scale then dials
+the total periodic utilization to the target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.partitioning import partition
+from repro.analysis.promotion import assign_promotions
+from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
+from repro.kernel.microkernel import TaskBinding
+from repro.workloads.mibench import MIBENCH_AUTOMOTIVE, get_benchmark
+
+#: The 18 periodic benchmark names (group x dataset mix).
+AUTOMOTIVE_PERIODIC: List[str] = (
+    [f"basicmath-{p}-{d}" for p in ("sqrt", "derivative", "angle") for d in ("small", "large")]
+    + [f"bitcount-{c}-{d}" for c in ("shift", "sparse", "ntbl", "btbl", "parallel") for d in ("small", "large")]
+    + [f"qsort-qsort-{d}" for d in ("small", "large")]
+)
+
+#: The aperiodic task: susan smoothing on the large dataset.
+AUTOMOTIVE_APERIODIC = "susan-smoothing-large"
+
+#: Base periods per group/dataset in cycles, before utilization scaling.
+#: bitcount = fast sensor polls, basicmath = control-law rates,
+#: qsort = slow data organisation.
+BASE_PERIODS: Dict[Tuple[str, str], int] = {
+    ("bitcount", "small"): 25_000_000,     # 0.5 s
+    ("bitcount", "large"): 100_000_000,    # 2 s
+    ("basicmath", "small"): 50_000_000,    # 1 s
+    ("basicmath", "large"): 250_000_000,   # 5 s
+    ("qsort", "small"): 100_000_000,       # 2 s
+    ("qsort", "large"): 500_000_000,       # 10 s
+}
+
+
+def base_utilization() -> float:
+    """Total periodic utilization at the base periods."""
+    total = 0.0
+    for name in AUTOMOTIVE_PERIODIC:
+        spec = get_benchmark(name)
+        total += spec.wcet_cycles / BASE_PERIODS[(spec.group, spec.dataset)]
+    return total
+
+
+#: Default WCET padding over the measured (actual) execution time.
+#: The paper's offline tool "determined [worst cases] taking in
+#: account an overhead for the context switching and considering the
+#: most complex datasets" -- i.e. the analysed budgets exceed what the
+#: tasks actually execute; contention eats into that margin at runtime.
+WCET_MARGIN = 1.35
+
+
+def build_automotive_taskset(
+    utilization_fraction: float,
+    n_cpus: int,
+    period_granule: int = 10_000,
+    wcet_margin: float = WCET_MARGIN,
+) -> TaskSet:
+    """The 19-task workload at the requested periodic utilization.
+
+    ``utilization_fraction`` is the paper's x-axis value (0.40, 0.50,
+    0.60): the *budgeted* periodic utilization per processor, so the
+    total target is ``utilization_fraction * n_cpus`` (the paper notes
+    that 4 processors at 50 % carry double the workload of 2 at 50 %).
+    Utilization is computed on the padded WCET budgets (see
+    :data:`WCET_MARGIN`); the jobs actually execute their calibrated
+    ACET.  Periods are scaled uniformly from the base table and rounded
+    down to ``period_granule`` (rounding down errs towards slightly
+    more load, never less).
+    """
+    if not 0.0 < utilization_fraction < 1.0:
+        raise ValueError("utilization_fraction must be in (0, 1)")
+    if n_cpus < 1:
+        raise ValueError("n_cpus must be >= 1")
+    if wcet_margin < 1.0:
+        raise ValueError("wcet_margin must be >= 1")
+    target_total = utilization_fraction * n_cpus
+    factor = base_utilization() * wcet_margin / target_total
+
+    periodic: List[PeriodicTask] = []
+    for name in AUTOMOTIVE_PERIODIC:
+        spec = get_benchmark(name)
+        base = BASE_PERIODS[(spec.group, spec.dataset)]
+        wcet = int(spec.wcet_cycles * wcet_margin)
+        period = int(base * factor) // period_granule * period_granule
+        period = max(period, wcet)
+        periodic.append(
+            PeriodicTask(name=name, wcet=wcet, period=period, acet=spec.wcet_cycles)
+        )
+
+    aperiodic_spec = get_benchmark(AUTOMOTIVE_APERIODIC)
+    aperiodic = [
+        AperiodicTask(
+            name=AUTOMOTIVE_APERIODIC,
+            wcet=int(aperiodic_spec.wcet_cycles * wcet_margin),
+            acet=aperiodic_spec.wcet_cycles,
+        )
+    ]
+    return TaskSet(periodic, aperiodic).with_deadline_monotonic_priorities()
+
+
+def prepare_taskset(
+    taskset: TaskSet,
+    n_cpus: int,
+    tick: int,
+    heuristic: str = "worst-fit",
+) -> TaskSet:
+    """Partition + promotion analysis, tick-rounded (full pipeline)."""
+    assigned = partition(taskset, n_cpus, heuristic=heuristic)
+    return assign_promotions(assigned, n_cpus, tick=tick)
+
+
+def automotive_bindings() -> Dict[str, TaskBinding]:
+    """Execution profiles/stacks for every task in the workload."""
+    bindings: Dict[str, TaskBinding] = {}
+    for name in AUTOMOTIVE_PERIODIC + [AUTOMOTIVE_APERIODIC]:
+        spec = get_benchmark(name)
+        bindings[name] = TaskBinding(
+            profile=spec.profile, stack_words=spec.stack_words
+        )
+    return bindings

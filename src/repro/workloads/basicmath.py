@@ -1,0 +1,120 @@
+"""basicmath: "simple mathematical calculations not supported by
+dedicated hardware ... can be used to calculate road speed or other
+vector values (three programs: square roots, first derivative, angle
+conversion)".
+
+Each entry point returns ``(checksum, work_units)`` where work_units
+counts elementary operations deterministically; the characterisation
+table in :mod:`repro.workloads.mibench` converts units to cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def integer_sqrt(value: int) -> Tuple[int, int]:
+    """Newton's method integer square root, with iteration count.
+
+    Mirrors MiBench's ``usqrt``: no FPU, integer-only iteration.
+    """
+    if value < 0:
+        raise ValueError("integer_sqrt of a negative number")
+    if value < 2:
+        return value, 1
+    x = value
+    y = (x + 1) // 2
+    iterations = 0
+    while y < x:
+        x = y
+        y = (x + value // x) // 2
+        iterations += 1
+    return x, iterations
+
+
+def square_roots(numbers: Sequence[float]) -> Tuple[int, int]:
+    """The square-roots program: isqrt over the scaled input set."""
+    checksum = 0
+    units = 0
+    for number in numbers:
+        root, iterations = integer_sqrt(int(number))
+        checksum = (checksum + root) & 0xFFFFFFFF
+        units += 2 + iterations
+    return checksum, units
+
+
+def first_derivative(samples: Sequence[float], step: float = 1.0) -> Tuple[float, int]:
+    """Central-difference first derivative of a sample train."""
+    if len(samples) < 3:
+        raise ValueError("need at least 3 samples")
+    if step <= 0:
+        raise ValueError("step must be positive")
+    total = 0.0
+    units = 0
+    for i in range(1, len(samples) - 1):
+        derivative = (samples[i + 1] - samples[i - 1]) / (2.0 * step)
+        total += derivative
+        units += 3
+    return total, units
+
+
+def angle_conversions(angles_deg: Sequence[float]) -> Tuple[float, int]:
+    """Degree->radian->degree round trips (MiBench's deg/rad tables)."""
+    total = 0.0
+    units = 0
+    for angle in angles_deg:
+        radians = angle * math.pi / 180.0
+        back = radians * 180.0 / math.pi
+        total += back
+        units += 2
+    return total, units
+
+
+def solve_cubic(a: float, b: float, c: float, d: float) -> Tuple[List[float], int]:
+    """Real roots of a*x^3 + b*x^2 + c*x + d = 0 (MiBench SolveCubic).
+
+    Trigonometric method for three real roots, Cardano otherwise.
+    Returns (sorted real roots, work units).
+    """
+    if a == 0.0:
+        raise ValueError("not a cubic (a == 0)")
+    units = 10
+    a1 = b / a
+    a2 = c / a
+    a3 = d / a
+    q = (a1 * a1 - 3.0 * a2) / 9.0
+    r = (2.0 * a1 ** 3 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0
+    discriminant = q ** 3 - r * r
+    offset = a1 / 3.0
+    if discriminant >= 0.0:
+        units += 12
+        if q <= 0.0 or math.sqrt(q ** 3) == 0.0:
+            # Triple (or numerically degenerate) root at -a1/3.
+            roots = [-offset]
+        else:
+            theta = math.acos(max(-1.0, min(1.0, r / math.sqrt(q ** 3))))
+            sqrt_q = math.sqrt(q)
+            roots = [
+                -2.0 * sqrt_q * math.cos(theta / 3.0) - offset,
+                -2.0 * sqrt_q * math.cos((theta + 2.0 * math.pi) / 3.0) - offset,
+                -2.0 * sqrt_q * math.cos((theta + 4.0 * math.pi) / 3.0) - offset,
+            ]
+    else:
+        units += 8
+        e = (math.sqrt(-discriminant) + abs(r)) ** (1.0 / 3.0)
+        if r > 0:
+            e = -e
+        roots = [(e + (q / e if e != 0 else 0.0)) - offset]
+    return sorted(roots), units
+
+
+def cubic_batch(coefficients: Sequence[Tuple[float, float, float, float]]) -> Tuple[float, int]:
+    """Solve a batch of cubics; sum of roots as checksum."""
+    total = 0.0
+    units = 0
+    for a, b, c, d in coefficients:
+        roots, u = solve_cubic(a, b, c, d)
+        total += sum(roots)
+        units += u
+    return total, units

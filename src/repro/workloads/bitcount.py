@@ -1,0 +1,105 @@
+"""bitcount: "tests bit manipulation abilities of the processors and
+is linked to sensor activity checking (five different counters)".
+
+Five genuinely different population-count algorithms, as in MiBench's
+bitcnts driver; the unit tests assert they agree on every input.
+Each batch entry point returns ``(total_bits, work_units)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+#: 4-bit nibble population count table.
+_NIBBLE_TABLE = [bin(i).count("1") for i in range(16)]
+#: 8-bit byte population count table.
+_BYTE_TABLE = [bin(i).count("1") for i in range(256)]
+
+
+def count_shift(value: int) -> Tuple[int, int]:
+    """Counter 1: naive shift-and-test over all 32 bits."""
+    value &= MASK32
+    count = 0
+    for _ in range(32):
+        count += value & 1
+        value >>= 1
+    return count, 32
+
+
+def count_sparse(value: int) -> Tuple[int, int]:
+    """Counter 2: Kernighan's sparse count (one iteration per set bit)."""
+    value &= MASK32
+    count = 0
+    units = 1
+    while value:
+        value &= value - 1
+        count += 1
+        units += 1
+    return count, units
+
+
+def count_nibble_table(value: int) -> Tuple[int, int]:
+    """Counter 3: 4-bit table lookups (MiBench ntbl_bitcount)."""
+    value &= MASK32
+    count = 0
+    for shift in range(0, 32, 4):
+        count += _NIBBLE_TABLE[(value >> shift) & 0xF]
+    return count, 8
+
+
+def count_byte_table(value: int) -> Tuple[int, int]:
+    """Counter 4: 8-bit table lookups (MiBench BW_btbl_bitcount)."""
+    value &= MASK32
+    count = (
+        _BYTE_TABLE[value & 0xFF]
+        + _BYTE_TABLE[(value >> 8) & 0xFF]
+        + _BYTE_TABLE[(value >> 16) & 0xFF]
+        + _BYTE_TABLE[(value >> 24) & 0xFF]
+    )
+    return count, 4
+
+
+def count_parallel(value: int) -> Tuple[int, int]:
+    """Counter 5: SWAR tree reduction (MiBench bitcount(long))."""
+    v = value & MASK32
+    v = v - ((v >> 1) & 0x55555555)
+    v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+    v = (v + (v >> 4)) & 0x0F0F0F0F
+    v = (v * 0x01010101) & MASK32
+    return v >> 24, 6
+
+
+#: The five counters, keyed as the experiments name them.
+COUNTERS: Dict[str, Callable[[int], Tuple[int, int]]] = {
+    "shift": count_shift,
+    "sparse": count_sparse,
+    "ntbl": count_nibble_table,
+    "btbl": count_byte_table,
+    "parallel": count_parallel,
+}
+
+
+def count_batch(counter: str, values: Sequence[int]) -> Tuple[int, int]:
+    """Run one counter over a value array."""
+    try:
+        func = COUNTERS[counter]
+    except KeyError:
+        raise ValueError(f"unknown counter {counter!r}; have {sorted(COUNTERS)}") from None
+    total = 0
+    units = 0
+    for value in values:
+        bits, u = func(value)
+        total += bits
+        units += u
+    return total, units
+
+
+def crosscheck(values: Sequence[int]) -> bool:
+    """True when all five counters agree on every value."""
+    for value in values:
+        results = {name: func(value)[0] for name, func in COUNTERS.items()}
+        if len(set(results.values())) != 1:
+            return False
+    return True

@@ -1,0 +1,197 @@
+"""CAN bus modelling: frames, timing and response-time analysis.
+
+The paper's peripherals are "interfaces to sensors and data
+acquisition systems, like for example Controller Area Networks (CANs)
+interfaces, widely used in automotive applications".  This module
+models the network side of that path:
+
+- :class:`CANFrame` -- identifier, DLC, payload; worst-case on-wire
+  bit count including the 5-bit-rule stuff bits (classic CAN 2.0A);
+- transmission times at a configurable bit rate (automotive: 125 k /
+  250 k / 500 k / 1 M bit/s);
+- :func:`can_response_time` -- Davis/Burns/Bril/Lukkien response-time
+  analysis for CAN's fixed-priority *non-preemptive* arbitration,
+  built on the same busy-period recurrence as the processor-side
+  analysis (blocking = longest lower-priority frame);
+- :func:`frame_arrival_times` -- the instants frames complete
+  transmission, i.e. when the CAN controller raises its interrupt
+  into the MPIC; these drive the aperiodic releases in end-to-end
+  experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import CLOCK_HZ
+
+#: Fixed overhead bits of a CAN 2.0A data frame (SOF, ID, control,
+#: CRC, ACK, EOF, interframe space), before stuffing.
+_FRAME_OVERHEAD_BITS = 47
+#: Bits exposed to stuffing (SOF..CRC body, 34 + 8*DLC).
+_STUFFABLE_OVERHEAD_BITS = 34
+
+
+@dataclass(frozen=True)
+class CANFrame:
+    """One CAN 2.0A (11-bit identifier) data frame."""
+
+    can_id: int
+    dlc: int  # data length code, 0..8 bytes
+    name: str = ""
+
+    def __post_init__(self):
+        if not 0 <= self.can_id <= 0x7FF:
+            raise ValueError(f"11-bit identifier required, got {self.can_id:#x}")
+        if not 0 <= self.dlc <= 8:
+            raise ValueError(f"DLC must be 0..8, got {self.dlc}")
+
+    @property
+    def max_bits(self) -> int:
+        """Worst-case frame size in bits, stuffing included.
+
+        Standard bound: 8*DLC + 47 + floor((34 + 8*DLC - 1) / 4)
+        stuff bits (a stuff bit every 4 bits in the worst case).
+        """
+        data_bits = 8 * self.dlc
+        stuff = (_STUFFABLE_OVERHEAD_BITS + data_bits - 1) // 4
+        return data_bits + _FRAME_OVERHEAD_BITS + stuff
+
+    def transmission_time(self, bitrate: int) -> float:
+        """Worst-case wire time in seconds."""
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.max_bits / bitrate
+
+    def transmission_cycles(self, bitrate: int, clock_hz: int = CLOCK_HZ) -> int:
+        """Worst-case wire time in CPU clock cycles."""
+        return int(math.ceil(self.max_bits * clock_hz / bitrate))
+
+
+@dataclass(frozen=True)
+class CANMessage:
+    """A periodic CAN message stream (frame + period + deadline)."""
+
+    frame: CANFrame
+    period_cycles: int
+    deadline_cycles: Optional[int] = None
+
+    def __post_init__(self):
+        if self.period_cycles <= 0:
+            raise ValueError("period must be positive")
+        if self.deadline_cycles is None:
+            object.__setattr__(self, "deadline_cycles", self.period_cycles)
+        if self.deadline_cycles <= 0:
+            raise ValueError("deadline must be positive")
+
+    @property
+    def priority(self) -> int:
+        """CAN arbitration: numerically lower identifier wins."""
+        return self.frame.can_id
+
+
+def _interference(
+    message: CANMessage, others: Sequence[CANMessage]
+) -> List[CANMessage]:
+    """Messages that beat ``message`` in arbitration (lower id)."""
+    return [
+        other
+        for other in others
+        if other.frame.can_id < message.frame.can_id
+    ]
+
+
+def can_response_time(
+    message: CANMessage,
+    messages: Sequence[CANMessage],
+    bitrate: int,
+    clock_hz: int = CLOCK_HZ,
+    max_iterations: int = 10_000,
+) -> Optional[int]:
+    """Worst-case response time (cycles) of one message on the bus.
+
+    Non-preemptive fixed priority: the queueing delay w satisfies
+    ``w = B + sum_{j in hp} ceil((w + tau_bit) / T_j) * C_j`` where B
+    is the longest lower-or-equal-priority frame already on the wire,
+    and the response is ``w + C_m``.  Returns None when the recurrence
+    exceeds the deadline (unschedulable).
+    """
+    own_cycles = message.frame.transmission_cycles(bitrate, clock_hz)
+    tau_bit = int(math.ceil(clock_hz / bitrate))
+    blockers = [
+        other.frame.transmission_cycles(bitrate, clock_hz)
+        for other in messages
+        if other is not message and other.frame.can_id > message.frame.can_id
+    ]
+    blocking = max(blockers, default=0)
+    hp = _interference(message, messages)
+
+    w = blocking
+    for _ in range(max_iterations):
+        w_next = blocking + sum(
+            math.ceil((w + tau_bit) / other.period_cycles)
+            * other.frame.transmission_cycles(bitrate, clock_hz)
+            for other in hp
+        )
+        if w_next + own_cycles > message.deadline_cycles:
+            return None
+        if w_next == w:
+            return w + own_cycles
+        w = w_next
+    raise RuntimeError("CAN response-time recurrence did not converge")
+
+
+def bus_utilization(messages: Sequence[CANMessage], bitrate: int, clock_hz: int = CLOCK_HZ) -> float:
+    """Fraction of wire time consumed by the message set."""
+    return sum(
+        m.frame.transmission_cycles(bitrate, clock_hz) / m.period_cycles
+        for m in messages
+    )
+
+
+def frame_arrival_times(
+    message: CANMessage,
+    bitrate: int,
+    horizon: int,
+    clock_hz: int = CLOCK_HZ,
+    offset: int = 0,
+    include_wire_time: bool = True,
+) -> List[int]:
+    """Completion instants of a periodic frame up to ``horizon``.
+
+    These are the times the receiving CAN controller raises its
+    interrupt (queueing ignored; add :func:`can_response_time` minus
+    the wire time for a worst-case shift), i.e. the aperiodic release
+    times to feed :class:`repro.hw.peripherals.CANInterface`.
+    """
+    wire = message.frame.transmission_cycles(bitrate, clock_hz) if include_wire_time else 0
+    times = []
+    t = offset
+    while t + wire < horizon:
+        times.append(t + wire)
+        t += message.period_cycles
+    return times
+
+
+def automotive_message_set(bitrate: int = 500_000, clock_hz: int = CLOCK_HZ) -> List[CANMessage]:
+    """A representative body/powertrain CAN message set.
+
+    Periods follow common automotive practice (10-1000 ms); identifiers
+    encode priority (engine > brakes > body > diagnostics).
+    """
+    def ms(value: float) -> int:
+        return int(value * clock_hz / 1_000)
+
+    return [
+        CANMessage(CANFrame(0x080, 8, "engine-rpm"), period_cycles=ms(10)),
+        CANMessage(CANFrame(0x0A0, 8, "wheel-speed"), period_cycles=ms(10)),
+        CANMessage(CANFrame(0x100, 6, "brake-status"), period_cycles=ms(20)),
+        CANMessage(CANFrame(0x180, 8, "steering-angle"), period_cycles=ms(20)),
+        CANMessage(CANFrame(0x200, 4, "gear-position"), period_cycles=ms(50)),
+        CANMessage(CANFrame(0x300, 8, "body-controls"), period_cycles=ms(100)),
+        CANMessage(CANFrame(0x400, 2, "door-status"), period_cycles=ms(200)),
+        CANMessage(CANFrame(0x500, 8, "climate"), period_cycles=ms(500)),
+        CANMessage(CANFrame(0x600, 8, "diagnostics"), period_cycles=ms(1_000)),
+    ]

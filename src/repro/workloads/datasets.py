@@ -1,0 +1,95 @@
+"""Deterministic synthetic datasets for the MiBench kernels.
+
+MiBench ships fixed input files; offline we generate equivalents from
+explicit seeds: integer arrays, 3-D vectors for the qsort variant, and
+grayscale images containing rectangles and gradients so the susan
+kernels have real edges and corners to find.  "small" exercises the
+minimum useful embedded workload, "large" a real-world one, mirroring
+the suite's two dataset classes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+#: Canonical dataset sizes (elements / image side) per class.
+SIZES = {
+    "small": {"array": 512, "vectors": 256, "image": 32, "numbers": 128},
+    "large": {"array": 4096, "vectors": 2048, "image": 96, "numbers": 1024},
+}
+
+
+def dataset_sizes(dataset: str) -> dict:
+    try:
+        return SIZES[dataset]
+    except KeyError:
+        raise ValueError(f"unknown dataset {dataset!r}; use 'small' or 'large'") from None
+
+
+def integer_array(dataset: str, seed: int = 1234) -> List[int]:
+    """Integers for sorting / bit counting."""
+    rng = random.Random(f"{seed}-{dataset}-ints")
+    n = dataset_sizes(dataset)["array"]
+    return [rng.randrange(0, 1 << 32) for _ in range(n)]
+
+
+def vector_array(dataset: str, seed: int = 1234) -> List[Tuple[int, int, int]]:
+    """3-D integer vectors (the MiBench qsort large input sorts these
+    by magnitude)."""
+    rng = random.Random(f"{seed}-{dataset}-vectors")
+    n = dataset_sizes(dataset)["vectors"]
+    return [
+        (rng.randrange(-1000, 1000), rng.randrange(-1000, 1000), rng.randrange(-1000, 1000))
+        for _ in range(n)
+    ]
+
+
+def number_array(dataset: str, seed: int = 1234) -> List[float]:
+    """Positive reals for square roots / angle conversions."""
+    rng = random.Random(f"{seed}-{dataset}-numbers")
+    n = dataset_sizes(dataset)["numbers"]
+    return [rng.uniform(0.0, 1_000_000.0) for _ in range(n)]
+
+
+def cubic_coefficients(dataset: str, seed: int = 1234) -> List[Tuple[float, float, float, float]]:
+    """Coefficient tuples for the basicmath cubic solver."""
+    rng = random.Random(f"{seed}-{dataset}-cubics")
+    n = dataset_sizes(dataset)["numbers"] // 4
+    coefficients = []
+    for _ in range(n):
+        a = rng.choice([1.0, 2.0, 3.0])
+        b = rng.uniform(-30.0, 30.0)
+        c = rng.uniform(-150.0, 150.0)
+        d = rng.uniform(-500.0, 500.0)
+        coefficients.append((a, b, c, d))
+    return coefficients
+
+
+def synthetic_image(dataset: str, seed: int = 1234) -> List[List[int]]:
+    """A grayscale image (list of rows, 0..255) with structure.
+
+    Contains a bright rectangle, a diagonal gradient band and additive
+    noise -- enough edges and corners for the susan detectors to
+    produce non-trivial output.
+    """
+    rng = random.Random(f"{seed}-{dataset}-image")
+    side = dataset_sizes(dataset)["image"]
+    image = [[40 + (x + y) * 120 // (2 * side) for x in range(side)] for y in range(side)]
+    # Bright rectangle in the upper-left quadrant: strong edges + corners.
+    top, left = side // 8, side // 8
+    bottom, right = side // 2, side // 2
+    for y in range(top, bottom):
+        for x in range(left, right):
+            image[y][x] = 220
+    # Dark disc lower-right: curved edge.
+    cy, cx, radius = 3 * side // 4, 3 * side // 4, side // 6
+    for y in range(side):
+        for x in range(side):
+            if (y - cy) ** 2 + (x - cx) ** 2 <= radius * radius:
+                image[y][x] = 15
+    # Mild noise.
+    for y in range(side):
+        for x in range(side):
+            image[y][x] = min(255, max(0, image[y][x] + rng.randrange(-6, 7)))
+    return image

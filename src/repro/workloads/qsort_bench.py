@@ -1,0 +1,115 @@
+"""qsort: "executes sorting of vectors, useful to organize data and
+priorities".
+
+MiBench's qsort_small sorts strings and qsort_large sorts 3-D vectors
+by magnitude; here both integer-key and vector-magnitude sorts are
+provided, implemented as an in-place quicksort with median-of-three
+pivoting and an insertion-sort cutoff (the classic libc shape), with a
+deterministic work count of comparisons + swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+_INSERTION_CUTOFF = 8
+
+
+class _Counter:
+    __slots__ = ("comparisons", "swaps")
+
+    def __init__(self):
+        self.comparisons = 0
+        self.swaps = 0
+
+    @property
+    def units(self) -> int:
+        return self.comparisons + self.swaps
+
+
+def _insertion_sort(data: List, lo: int, hi: int, key: Callable, counter: _Counter) -> None:
+    for i in range(lo + 1, hi + 1):
+        item = data[i]
+        item_key = key(item)
+        j = i - 1
+        while j >= lo:
+            counter.comparisons += 1
+            if key(data[j]) <= item_key:
+                break
+            data[j + 1] = data[j]
+            counter.swaps += 1
+            j -= 1
+        data[j + 1] = item
+
+
+def _median_of_three(data: List, lo: int, mid: int, hi: int, key: Callable, counter: _Counter) -> int:
+    a, b, c = key(data[lo]), key(data[mid]), key(data[hi])
+    counter.comparisons += 3
+    if a < b:
+        if b < c:
+            return mid
+        return hi if a < c else lo
+    if a < c:
+        return lo
+    return hi if b < c else mid
+
+
+def quicksort(data: List, key: Callable = lambda item: item) -> int:
+    """In-place quicksort; returns the work units (cmps + swaps)."""
+    counter = _Counter()
+    stack = [(0, len(data) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < _INSERTION_CUTOFF:
+            if lo < hi:
+                _insertion_sort(data, lo, hi, key, counter)
+            continue
+        mid = (lo + hi) // 2
+        pivot_index = _median_of_three(data, lo, mid, hi, key, counter)
+        data[pivot_index], data[hi] = data[hi], data[pivot_index]
+        counter.swaps += 1
+        pivot_key = key(data[hi])
+        store = lo
+        for i in range(lo, hi):
+            counter.comparisons += 1
+            if key(data[i]) < pivot_key:
+                if i != store:
+                    data[i], data[store] = data[store], data[i]
+                    counter.swaps += 1
+                store += 1
+        data[store], data[hi] = data[hi], data[store]
+        counter.swaps += 1
+        # Recurse smaller side last (bounded stack).
+        left = (lo, store - 1)
+        right = (store + 1, hi)
+        if (left[1] - left[0]) > (right[1] - right[0]):
+            stack.append(left)
+            stack.append(right)
+        else:
+            stack.append(right)
+            stack.append(left)
+    return counter.units
+
+
+def sort_integers(values: Sequence[int]) -> Tuple[List[int], int]:
+    """Sort an integer array; returns (sorted copy, work units)."""
+    data = list(values)
+    units = quicksort(data)
+    return data, units
+
+
+def vector_magnitude_squared(vector: Tuple[int, int, int]) -> int:
+    x, y, z = vector
+    return x * x + y * y + z * z
+
+
+def sort_vectors(vectors: Sequence[Tuple[int, int, int]]) -> Tuple[List[Tuple[int, int, int]], int]:
+    """Sort 3-D vectors by magnitude (qsort_large's comparison)."""
+    data = list(vectors)
+    units = quicksort(data, key=vector_magnitude_squared)
+    return data, units
+
+
+def is_sorted(data: Sequence, key: Callable = lambda item: item) -> bool:
+    """Verification helper used by tests."""
+    return all(key(data[i]) <= key(data[i + 1]) for i in range(len(data) - 1))

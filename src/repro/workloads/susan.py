@@ -1,0 +1,130 @@
+"""susan: "an image recognition package that can recognize corners or
+edges and can smooth an image, useful for quality assurance video
+systems or car navigation systems".
+
+Faithful-in-spirit implementations of the three SUSAN modes (Smallest
+Univalue Segment Assimilating Nucleus, Smith & Brady):
+
+- *smoothing*: brightness-similarity weighted averaging over a
+  circular mask;
+- *edges*: USAN area per pixel; pixels whose USAN falls below the
+  geometric threshold are edge responses;
+- *corners*: a tighter USAN threshold plus a local-minimum check.
+
+Images are lists of rows of 0..255 ints (see
+:mod:`repro.workloads.datasets`).  Each entry point returns
+``(output, work_units)`` with a deterministic unit count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+Image = List[List[int]]
+
+#: Offsets of the 37-pixel circular mask SUSAN uses (radius ~3.4).
+MASK_OFFSETS: List[Tuple[int, int]] = [
+    (dy, dx)
+    for dy in range(-3, 4)
+    for dx in range(-3, 4)
+    if dy * dy + dx * dx <= 11 and not (dy == 0 and dx == 0)
+]
+
+#: Brightness similarity threshold (SUSAN's t parameter).
+BRIGHTNESS_T = 27
+
+
+def _similarity(a: int, b: int) -> float:
+    """exp(-((a-b)/t)^6), SUSAN's smooth similarity function."""
+    diff = (a - b) / BRIGHTNESS_T
+    return math.exp(-(diff ** 6))
+
+
+def _dimensions(image: Image) -> Tuple[int, int]:
+    height = len(image)
+    if height == 0:
+        raise ValueError("empty image")
+    width = len(image[0])
+    if any(len(row) != width for row in image):
+        raise ValueError("ragged image")
+    return height, width
+
+
+def smooth(image: Image) -> Tuple[Image, int]:
+    """Brightness-preserving SUSAN smoothing."""
+    height, width = _dimensions(image)
+    out = [row[:] for row in image]
+    units = 0
+    for y in range(3, height - 3):
+        for x in range(3, width - 3):
+            centre = image[y][x]
+            total = 0.0
+            weight_sum = 0.0
+            for dy, dx in MASK_OFFSETS:
+                value = image[y + dy][x + dx]
+                weight = _similarity(centre, value)
+                total += weight * value
+                weight_sum += weight
+                units += 1
+            if weight_sum > 0:
+                out[y][x] = int(round(total / weight_sum))
+    return out, units
+
+
+def usan_area(image: Image, y: int, x: int) -> Tuple[float, int]:
+    """The USAN area at one pixel (sum of similarities over the mask)."""
+    centre = image[y][x]
+    area = 0.0
+    units = 0
+    for dy, dx in MASK_OFFSETS:
+        area += _similarity(centre, image[y + dy][x + dx])
+        units += 1
+    return area, units
+
+
+def edges(image: Image) -> Tuple[Image, int]:
+    """Edge response map: max(0, g - USAN) with g = 3/4 of the mask."""
+    height, width = _dimensions(image)
+    threshold = 0.75 * len(MASK_OFFSETS)
+    response: Image = [[0] * width for _ in range(height)]
+    units = 0
+    for y in range(3, height - 3):
+        for x in range(3, width - 3):
+            area, u = usan_area(image, y, x)
+            units += u
+            value = threshold - area
+            if value > 0:
+                response[y][x] = int(round(value * 10))
+    return response, units
+
+
+def corners(image: Image) -> Tuple[List[Tuple[int, int]], int]:
+    """Corner list: USAN below g/2 and a 3x3 local response maximum."""
+    height, width = _dimensions(image)
+    threshold = 0.5 * len(MASK_OFFSETS)
+    response: Image = [[0] * width for _ in range(height)]
+    units = 0
+    for y in range(3, height - 3):
+        for x in range(3, width - 3):
+            area, u = usan_area(image, y, x)
+            units += u
+            value = threshold - area
+            if value > 0:
+                response[y][x] = int(round(value * 10))
+    found: List[Tuple[int, int]] = []
+    for y in range(4, height - 4):
+        for x in range(4, width - 4):
+            value = response[y][x]
+            if value <= 0:
+                continue
+            units += 8
+            neighbourhood = [
+                response[y + dy][x + dx]
+                for dy in (-1, 0, 1)
+                for dx in (-1, 0, 1)
+                if not (dy == 0 and dx == 0)
+            ]
+            if value > max(neighbourhood):
+                found.append((y, x))
+    return found, units

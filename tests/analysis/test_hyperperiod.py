@@ -1,0 +1,120 @@
+"""Tests for hyperperiod verification and the RTA extensions."""
+
+import pytest
+
+from repro.analysis import assign_promotions, partition, random_taskset
+from repro.analysis.hyperperiod import cross_check, verify_by_simulation
+from repro.analysis.response_time import busy_period_recurrence
+from repro.core.task import PeriodicTask, TaskSet
+
+TICK = 10_000
+
+
+def analysed(tasks, n_cpus=1):
+    ts = TaskSet(tasks).with_deadline_monotonic_priorities()
+    ts = partition(ts, n_cpus)
+    return assign_promotions(ts, n_cpus, tick=TICK)
+
+
+class TestVerifyBySimulation:
+    def test_simple_set_verified(self):
+        ts = analysed([
+            PeriodicTask(name="a", wcet=10_000, period=100_000),
+            PeriodicTask(name="b", wcet=20_000, period=200_000),
+        ])
+        result = verify_by_simulation(ts, 1, tick=TICK)
+        assert result.schedulable
+        assert bool(result)
+        assert result.misses == []
+        assert result.jobs_checked >= 3
+        assert 0 < result.worst_response_ratio <= 1.0
+
+    def test_horizon_covers_hyperperiod_plus_deadline(self):
+        ts = analysed([
+            PeriodicTask(name="a", wcet=1_000, period=60_000),
+            PeriodicTask(name="b", wcet=1_000, period=40_000),
+        ])
+        result = verify_by_simulation(ts, 1, tick=TICK)
+        assert result.horizon == 120_000 + 60_000
+
+    def test_huge_hyperperiod_rejected(self):
+        ts = analysed([
+            PeriodicTask(name="a", wcet=10, period=999_983),  # prime
+            PeriodicTask(name="b", wcet=10, period=999_979),  # prime
+        ])
+        with pytest.raises(ValueError):
+            verify_by_simulation(ts, 1, tick=TICK, max_horizon=10_000_000)
+
+    def test_multi_hyperperiod(self):
+        ts = analysed([PeriodicTask(name="a", wcet=10_000, period=100_000)])
+        result = verify_by_simulation(ts, 1, tick=TICK, hyperperiods=3)
+        assert result.horizon == 400_000
+        assert result.schedulable
+
+    def test_invalid_hyperperiods(self):
+        ts = analysed([PeriodicTask(name="a", wcet=10_000, period=100_000)])
+        with pytest.raises(ValueError):
+            verify_by_simulation(ts, 1, tick=TICK, hyperperiods=0)
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_analysis_never_contradicted_by_simulation(self, seed):
+        """The safety property: analytical 'schedulable' must never be
+        refuted by exact simulation."""
+        base = random_taskset(
+            4, 0.8, seed=seed, min_period=20_000, max_period=100_000,
+        )
+        # Round periods to tick multiples for an exact cross-check.
+        rounded = [
+            PeriodicTask(
+                name=t.name, wcet=t.wcet,
+                period=max(TICK, (t.period // TICK) * TICK),
+                low_priority=t.low_priority, high_priority=t.high_priority,
+            )
+            for t in base.periodic
+        ]
+        ts = analysed(rounded, n_cpus=2)
+        verdict = cross_check(ts, 2, tick=TICK, max_horizon=2_000_000_000)
+        assert verdict is True  # these sets are schedulable and verified
+
+
+class TestRTAExtensions:
+    def _hp(self, wcet, period, name="hp"):
+        return PeriodicTask(name=name, wcet=wcet, period=period, high_priority=5)
+
+    def test_blocking_adds_directly(self):
+        plain = busy_period_recurrence(30, [self._hp(20, 100)], limit=1_000)
+        blocked = busy_period_recurrence(
+            30, [self._hp(20, 100)], limit=1_000, blocking=15
+        )
+        assert blocked.value == plain.value + 15
+
+    def test_blocking_can_break_schedulability(self):
+        result = busy_period_recurrence(
+            50, [self._hp(40, 100)], limit=100, blocking=20
+        )
+        assert not result.schedulable
+
+    def test_jitter_adds_interference_hits(self):
+        # Without jitter: w = 30 + ceil(w/100)*20 -> 50.
+        plain = busy_period_recurrence(30, [self._hp(20, 100)], limit=1_000)
+        assert plain.value == 50
+        # Jitter 60: ceil((50+60)/100) = 2 hits -> w = 70;
+        # ceil((70+60)/100) = 2 -> stable at 70.
+        jittered = busy_period_recurrence(
+            30, [self._hp(20, 100)], limit=1_000, jitter={"hp": 60}
+        )
+        assert jittered.value == 70
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            busy_period_recurrence(10, [], limit=100, jitter={"x": -1})
+        with pytest.raises(ValueError):
+            busy_period_recurrence(10, [], limit=100, blocking=-1)
+
+    def test_zero_jitter_is_identity(self):
+        hp = self._hp(20, 100)
+        plain = busy_period_recurrence(30, [hp], limit=1_000)
+        zeroed = busy_period_recurrence(30, [hp], limit=1_000, jitter={"hp": 0})
+        assert plain.value == zeroed.value

@@ -1,0 +1,90 @@
+"""Tests for the partitioning heuristics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.partitioning import PartitioningError, partition
+from repro.analysis.schedulability import analyse_taskset
+from repro.analysis.taskgen import random_taskset
+from repro.core.task import PeriodicTask, TaskSet
+
+
+def task(name, wcet, period, high=0):
+    return PeriodicTask(name=name, wcet=wcet, period=period, high_priority=high)
+
+
+def test_partition_assigns_all_tasks():
+    ts = random_taskset(8, 1.2, seed=1)
+    assigned = partition(ts, 2)
+    assert all(0 <= t.cpu < 2 for t in assigned.periodic)
+    assert len(assigned.periodic) == 8
+
+
+def test_partition_result_is_schedulable():
+    for heuristic in ("first-fit", "best-fit", "worst-fit"):
+        ts = random_taskset(10, 1.5, seed=7)
+        assigned = partition(ts, 3, heuristic=heuristic)
+        report = analyse_taskset(assigned, 3)
+        assert report.schedulable, heuristic
+
+
+def test_worst_fit_balances_load():
+    ts = TaskSet([
+        task("a", 30, 100, high=4),
+        task("b", 30, 100, high=3),
+        task("c", 30, 100, high=2),
+        task("d", 30, 100, high=1),
+    ])
+    assigned = partition(ts, 2, heuristic="worst-fit")
+    per_cpu = assigned.utilization_per_cpu(2)
+    assert per_cpu[0] == pytest.approx(per_cpu[1])
+
+
+def test_first_fit_packs_first_cpu():
+    ts = TaskSet([
+        task("a", 10, 100, high=2),
+        task("b", 10, 100, high=1),
+    ])
+    assigned = partition(ts, 2, heuristic="first-fit")
+    assert all(t.cpu == 0 for t in assigned.periodic)
+
+
+def test_infeasible_set_raises():
+    ts = TaskSet([
+        task("a", 90, 100, high=3),
+        task("b", 90, 100, high=2),
+        task("c", 90, 100, high=1),
+    ])
+    with pytest.raises(PartitioningError):
+        partition(ts, 2)
+
+
+def test_unknown_heuristic_rejected():
+    ts = TaskSet([task("a", 10, 100)])
+    with pytest.raises(ValueError):
+        partition(ts, 2, heuristic="magic")
+
+
+def test_invalid_cpu_count():
+    ts = TaskSet([task("a", 10, 100)])
+    with pytest.raises(ValueError):
+        partition(ts, 0)
+
+
+def test_aperiodics_pass_through():
+    ts = random_taskset(4, 0.5, seed=3, n_aperiodic=2, aperiodic_wcet=100)
+    assigned = partition(ts, 2)
+    assert len(assigned.aperiodic) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n_cpus=st.integers(1, 4))
+def test_partition_feasible_property(seed, n_cpus):
+    """Whenever a heuristic succeeds, the result passes the exact test."""
+    ts = random_taskset(6, 0.45 * n_cpus, seed=seed)
+    try:
+        assigned = partition(ts, n_cpus)
+    except PartitioningError:
+        return  # heuristics are allowed to fail; they must not lie
+    report = analyse_taskset(assigned, n_cpus)
+    assert report.schedulable

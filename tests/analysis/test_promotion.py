@@ -1,0 +1,101 @@
+"""Tests for promotion-time computation (U_i = D_i - W_i)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.promotion import assign_promotions, promotion_table, promotion_time
+from repro.analysis.taskgen import random_taskset
+from repro.analysis.partitioning import partition
+from repro.core.task import PeriodicTask, TaskSet
+
+
+def task(name, wcet, period, deadline=None, high=0, cpu=0):
+    return PeriodicTask(
+        name=name, wcet=wcet, period=period, deadline=deadline, high_priority=high, cpu=cpu
+    )
+
+
+def test_single_task_promotion_is_laxity():
+    t = task("a", 30, 100)
+    assert promotion_time(t, [t]) == 70
+
+
+def test_promotion_zero_when_no_laxity():
+    t = task("a", 100, 100)
+    assert promotion_time(t, [t]) == 0
+
+
+def test_unschedulable_task_raises():
+    hp = task("hp", 60, 100, high=2)
+    lo = task("lo", 50, 100, high=1)
+    with pytest.raises(ValueError):
+        promotion_time(lo, [hp, lo])
+
+
+def test_assign_promotions_all_tasks():
+    ts = TaskSet([
+        task("a", 10, 100, high=2),
+        task("b", 20, 200, high=1),
+    ])
+    analysed = assign_promotions(ts, 1)
+    promotions = {t.name: t.promotion for t in analysed.periodic}
+    assert promotions["a"] == 90
+    # b: w = 20 + ceil(w/100)*10 -> 30 -> 30 stable; U = 200 - 30
+    assert promotions["b"] == 170
+
+
+def test_tick_rounding_reserves_observation_latency():
+    ts = TaskSet([task("a", 10, 100, high=1)])  # W = 10, D = 100
+    analysed = assign_promotions(ts, 1, tick=40)
+    # U = floor((D - W - tick)/tick)*tick = floor(50/40)*40 = 40.
+    assert analysed.periodic[0].promotion == 40
+
+
+def test_tick_analysis_rejects_tight_deadline():
+    # W + tick > D: the kernel cannot observe the promotion in time.
+    ts = TaskSet([task("a", 10, 100, high=1)])
+    with pytest.raises(ValueError):
+        assign_promotions(ts, 1, tick=95)
+
+
+def test_tick_must_be_positive():
+    ts = TaskSet([task("a", 10, 100)])
+    with pytest.raises(ValueError):
+        assign_promotions(ts, 1, tick=0)
+
+
+def test_cpu_out_of_range_rejected():
+    ts = TaskSet([task("a", 10, 100, cpu=7)])
+    with pytest.raises(ValueError):
+        assign_promotions(ts, 2)
+
+
+def test_analysis_is_per_processor():
+    """Tasks on different cpus must not interfere."""
+    a = task("a", 50, 100, high=2, cpu=0)
+    b = task("b", 50, 100, high=1, cpu=1)
+    analysed = assign_promotions(TaskSet([a, b]), 2)
+    # On separate processors both have W = C.
+    assert all(t.promotion == 50 for t in analysed.periodic)
+
+
+def test_promotion_table_rows():
+    ts = TaskSet([task("a", 10, 100, high=2), task("b", 30, 300, high=1, cpu=0)])
+    rows = promotion_table(ts, 1)
+    assert len(rows) == 2
+    assert rows[0]["task"] == "a"
+    assert rows[0]["promotion"] == 90
+    assert all(r["schedulable"] for r in rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), util=st.floats(0.2, 0.7))
+def test_promotion_bounds_property(seed, util):
+    """0 <= U_i <= D_i for every analysed task (random sets)."""
+    ts = random_taskset(5, util, seed=seed)
+    ts = partition(ts, 2)
+    analysed = assign_promotions(ts, 2)
+    for t in analysed.periodic:
+        assert 0 <= t.promotion <= t.deadline
+        # W = D - U must be at least C.
+        assert t.deadline - t.promotion >= t.wcet

@@ -1,0 +1,129 @@
+"""Tests for the W_i recurrence and WCRT analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.response_time import (
+    busy_period_recurrence,
+    higher_priority_tasks,
+    response_time_table,
+    worst_case_response_time,
+)
+from repro.core.task import PeriodicTask
+
+
+def task(name, wcet, period, deadline=None, high=0):
+    return PeriodicTask(name=name, wcet=wcet, period=period, deadline=deadline, high_priority=high)
+
+
+def test_single_task_wcrt_is_wcet():
+    t = task("a", 30, 100)
+    result = worst_case_response_time(t, [t])
+    assert result.schedulable
+    assert result.value == 30
+
+
+def test_classic_two_task_interference():
+    # Textbook: hp task C=20 T=50; low task C=30 -> W = 30 + 2*20 = 70? iterate:
+    # w1=30 -> ceil(30/50)*20=20 -> w2=50 -> ceil(50/50)*20=20 -> w3=50 stable
+    hp = task("hp", 20, 50, high=2)
+    lo = task("lo", 30, 200, high=1)
+    result = worst_case_response_time(lo, [hp, lo])
+    assert result.value == 50
+
+
+def test_three_task_audsley_example():
+    # Audsley-style: C=(3, 3, 5), T=(7, 12, 20) with priorities by rate.
+    t1 = task("t1", 3, 7, high=3)
+    t2 = task("t2", 3, 12, high=2)
+    t3 = task("t3", 5, 20, high=1)
+    table = response_time_table([t1, t2, t3])
+    values = {r.task: r.wcrt for r in table}
+    assert values["t1"] == 3
+    assert values["t2"] == 6
+    # w=5 -> 5+3+3=11 -> 11+6+3=14? iterate: ceil(11/7)*3=6, ceil(11/12)*3=3 -> 14
+    # ceil(14/7)*3=6, ceil(14/12)*3=6 -> 17; ceil(17/7)*3=9, ceil(17/12)*3=6 -> 20
+    # exceeds D=20? limit is D: w=20 == D -> ceil(20/7)*3=9, ceil(20/12)*3=6 -> 20 stable
+    assert values["t3"] == 20
+
+
+def test_unschedulable_detected():
+    hp = task("hp", 60, 100, high=2)
+    lo = task("lo", 50, 100, high=1)
+    result = worst_case_response_time(lo, [hp, lo])
+    assert not result.schedulable
+    assert result.wcrt is None
+    with pytest.raises(ValueError):
+        _ = result.value
+
+
+def test_higher_priority_ties_break_by_name():
+    a = task("a", 10, 100, high=1)
+    b = task("b", 10, 100, high=1)
+    assert higher_priority_tasks(a, [a, b]) == [b]
+    assert higher_priority_tasks(b, [a, b]) == []
+
+
+def test_recurrence_validates_inputs():
+    with pytest.raises(ValueError):
+        busy_period_recurrence(0, [], limit=10)
+    with pytest.raises(ValueError):
+        busy_period_recurrence(10, [], limit=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wcets=st.lists(st.integers(1, 50), min_size=1, max_size=5),
+    periods=st.lists(st.integers(100, 1000), min_size=5, max_size=5),
+)
+def test_wcrt_bounds_property(wcets, periods):
+    """W_i >= C_i always; W_i == C_i for the highest priority task."""
+    tasks = [
+        task(f"t{i}", c, p, high=len(wcets) - i)
+        for i, (c, p) in enumerate(zip(wcets, periods))
+    ]
+    table = response_time_table(tasks)
+    for t, result in zip(tasks, table):
+        if result.schedulable:
+            assert result.value >= t.wcet
+    top = max(tasks, key=lambda t: t.high_priority)
+    top_result = worst_case_response_time(top, tasks)
+    assert top_result.value == top.wcet
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    extra=st.integers(1, 30),
+    base=st.integers(1, 30),
+    period=st.integers(50, 500),
+)
+def test_wcrt_monotone_in_interference(extra, base, period):
+    """Adding a higher-priority task never decreases W_i."""
+    lo = task("lo", base, 10_000)
+    hp = task("hp", extra, period, high=5)
+    alone = worst_case_response_time(lo, [lo])
+    with_hp = worst_case_response_time(lo, [lo, hp])
+    if with_hp.schedulable:
+        assert with_hp.value >= alone.value
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_wcrt_fixpoint_property(data):
+    """The returned W satisfies the recurrence equation exactly."""
+    n = data.draw(st.integers(1, 4))
+    tasks = []
+    for i in range(n):
+        c = data.draw(st.integers(1, 20), label=f"c{i}")
+        t = data.draw(st.integers(80, 800), label=f"t{i}")
+        tasks.append(task(f"t{i}", c, t, high=n - i))
+    target = tasks[-1]
+    result = worst_case_response_time(target, tasks)
+    if result.schedulable:
+        hp = higher_priority_tasks(target, tasks)
+        expected = target.wcet + sum(
+            math.ceil(result.value / other.period) * other.wcet for other in hp
+        )
+        assert expected == result.value

@@ -1,0 +1,112 @@
+"""Tests for the aperiodic admission controller."""
+
+import pytest
+
+from repro.core.admission import AperiodicAdmissionController
+from repro.core.mpdp import MPDPScheduler
+from repro.core.task import AperiodicTask, Job, PeriodicTask, TaskSet
+
+
+def scheduler(periodic=(), n_cpus=2):
+    return MPDPScheduler(TaskSet(list(periodic)), n_cpus)
+
+
+def ptask(name, wcet, period, cpu=0, promotion=None):
+    if promotion is None:
+        promotion = period - wcet
+    return PeriodicTask(name=name, wcet=wcet, period=period, cpu=cpu, promotion=promotion)
+
+
+def aperiodic_job(wcet=100, release=0, soft_deadline=None, name="a"):
+    return Job(AperiodicTask(name=name, wcet=wcet, soft_deadline=soft_deadline), release=release)
+
+
+class TestEstimation:
+    def test_idle_system_estimate_near_wcet(self):
+        controller = AperiodicAdmissionController(scheduler())
+        # No periodic tasks: the estimate is exactly the work / capacity.
+        assert controller.estimate_response(now=0, wcet=1_000) >= 500
+        assert controller.estimate_response(now=0, wcet=1_000) <= 1_000
+
+    def test_backlog_increases_estimate(self):
+        sched = scheduler()
+        controller = AperiodicAdmissionController(sched)
+        empty = controller.estimate_response(0, 1_000)
+        sched.add_aperiodic(aperiodic_job(wcet=5_000, name="queued"))
+        loaded = controller.estimate_response(0, 1_000)
+        assert loaded > empty
+
+    def test_promoted_interference_increases_estimate(self):
+        light = AperiodicAdmissionController(scheduler())
+        heavy_sched = scheduler([ptask("p", 5_000, 10_000)])
+        heavy = AperiodicAdmissionController(heavy_sched)
+        assert heavy.estimate_response(0, 10_000) > light.estimate_response(0, 10_000)
+
+    def test_estimate_validates_wcet(self):
+        controller = AperiodicAdmissionController(scheduler())
+        with pytest.raises(ValueError):
+            controller.estimate_response(0, 0)
+
+    def test_estimate_is_monotone_in_wcet(self):
+        sched = scheduler([ptask("p", 1_000, 10_000)])
+        controller = AperiodicAdmissionController(sched)
+        small = controller.estimate_response(0, 1_000)
+        large = controller.estimate_response(0, 50_000)
+        assert large > small
+
+
+class TestAdmission:
+    def test_no_deadline_always_admitted(self):
+        controller = AperiodicAdmissionController(scheduler())
+        verdict = controller.admit(aperiodic_job(), now=0)
+        assert verdict.admitted
+        assert verdict.soft_deadline is None
+
+    def test_generous_deadline_admitted(self):
+        controller = AperiodicAdmissionController(scheduler())
+        verdict = controller.admit(aperiodic_job(wcet=100), now=0, soft_deadline=1_000_000)
+        assert verdict.admitted
+        assert verdict.estimated_finish <= 1_000_000
+
+    def test_impossible_deadline_rejected(self):
+        controller = AperiodicAdmissionController(scheduler())
+        verdict = controller.admit(aperiodic_job(wcet=10_000), now=0, soft_deadline=10)
+        assert not verdict.admitted
+
+    def test_task_soft_deadline_used(self):
+        controller = AperiodicAdmissionController(scheduler())
+        job = aperiodic_job(wcet=10_000, soft_deadline=10)
+        verdict = controller.admit(job, now=0)
+        assert verdict.soft_deadline == 10
+        assert not verdict.admitted
+
+    def test_periodic_job_rejected_by_type(self):
+        controller = AperiodicAdmissionController(scheduler())
+        job = Job(ptask("p", 100, 1_000), release=0)
+        with pytest.raises(TypeError):
+            controller.admit(job, now=0)
+
+    def test_admit_estimate_is_safe_upper_bound(self):
+        """Simulated response must not exceed the admission estimate."""
+        from repro.simulators.theoretical import TheoreticalSimulator
+        from repro.analysis import assign_promotions, partition
+
+        ts = TaskSet(
+            [
+                PeriodicTask(name="p1", wcet=2_000, period=20_000),
+                PeriodicTask(name="p2", wcet=3_000, period=30_000),
+            ],
+            [AperiodicTask(name="evt", wcet=4_000)],
+        ).with_deadline_monotonic_priorities()
+        ts = assign_promotions(partition(ts, 2), 2, tick=1_000)
+
+        sim = TheoreticalSimulator(
+            ts, 2, tick=1_000, overhead=0.0, aperiodic_arrivals={"evt": [5_500]}
+        )
+        # Query the estimate at arrival time by running up to it first.
+        sim.run(5_500)
+        controller = AperiodicAdmissionController(sim.policy)
+        estimate = controller.estimate_response(5_500, wcet=4_000)
+        sim.run(200_000)
+        evt = next(j for j in sim.finished_jobs if j.task.name == "evt")
+        assert evt.response_time <= estimate

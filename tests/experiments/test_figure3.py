@@ -1,0 +1,55 @@
+"""Figure 3 reproduction: the narrative claims must all hold."""
+
+from repro.experiments.figure3 import (
+    figure3_taskset,
+    narrative_checks_a,
+    narrative_checks_b,
+    run_schedule_a,
+    run_schedule_b,
+    schedule_report,
+)
+
+
+def test_taskset_shapes():
+    without = figure3_taskset(with_aperiodics=False)
+    assert len(without.periodic) == 3
+    assert len(without.aperiodic) == 0
+    with_a = figure3_taskset(with_aperiodics=True)
+    assert [t.name for t in with_a.aperiodic] == ["A1", "A2"]
+
+
+def test_priorities_follow_paper_bands():
+    ts = figure3_taskset(with_aperiodics=True)
+    for t in ts.periodic:
+        assert t.low_priority in (0, 1)
+        assert t.high_priority in (3, 4)
+
+
+def test_schedule_a_narrative():
+    sim, trace = run_schedule_a()
+    checks = narrative_checks_a(sim, trace)
+    failing = [claim for claim, ok in checks.items() if not ok]
+    assert not failing, failing
+
+
+def test_schedule_b_narrative():
+    sim, trace = run_schedule_b()
+    checks = narrative_checks_b(sim, trace)
+    failing = [claim for claim, ok in checks.items() if not ok]
+    assert not failing, failing
+
+
+def test_schedule_b_job_timeline():
+    """Pin the exact idealised schedule (regression guard)."""
+    sim, _ = run_schedule_b()
+    finish = {j.task.name: j.finish_time for j in sim.finished_jobs}
+    assert finish["P1"] == 30_000
+    assert finish["P2"] == 40_000
+    assert finish["A1"] == 40_000
+    assert finish["A2"] == 50_000
+
+
+def test_reports_render():
+    sim, trace = run_schedule_a()
+    text = schedule_report("A", sim, trace)
+    assert "cpu0" in text and "cpu1" in text and "promotions" in text

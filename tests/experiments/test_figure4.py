@@ -1,0 +1,74 @@
+"""Figure 4 reproduction: shape checks on a reduced grid.
+
+The full nine-cell sweep lives in the benchmarks; here a subset runs
+quickly and the paper's qualitative claims are asserted:
+
+- the theoretical response sits near the standalone execution time
+  (around the 10.32 s worst case the paper quotes);
+- the prototype is slower than the simulation in every cell;
+- the real-vs-theoretical gap grows with periodic utilization.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import (
+    APERIODIC_STANDALONE_S,
+    PAPER_SLOWDOWNS,
+    Figure4Cell,
+    run_cell,
+    slowdown_table,
+)
+
+#: One faster arrival phase for test-speed; benchmarks use all three.
+FAST = dict(scale=1_000, arrival_phases_s=(1.0,), horizon_margin_s=16.0)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    grid = {}
+    for n_cpus in (2, 3):
+        for util in (0.40, 0.60):
+            grid[(n_cpus, util)] = run_cell(n_cpus, util, **FAST)
+    return grid
+
+
+def test_theoretical_near_standalone(cells):
+    for cell in cells.values():
+        assert cell.theoretical_s == pytest.approx(
+            APERIODIC_STANDALONE_S * 1.02, rel=0.02
+        )
+
+
+def test_prototype_always_slower(cells):
+    for cell in cells.values():
+        assert cell.real_s > cell.theoretical_s
+
+
+def test_gap_grows_with_utilization(cells):
+    for n_cpus in (2, 3):
+        low = cells[(n_cpus, 0.40)].slowdown_pct
+        high = cells[(n_cpus, 0.60)].slowdown_pct
+        assert high > low * 0.9  # monotone up to small noise
+
+
+def test_slowdowns_in_paper_band(cells):
+    """Within a loose band around the paper's 7-27 % range."""
+    for cell in cells.values():
+        assert 0.0 < cell.slowdown_pct < 45.0
+
+
+def test_slowdown_table_renders(cells):
+    text = slowdown_table(list(cells.values()))
+    assert "theoretical" in text
+    assert "%" in text
+
+
+def test_paper_reference_matrix():
+    assert PAPER_SLOWDOWNS[(2, 0.40)] == 7.0
+    assert PAPER_SLOWDOWNS[(3, 0.60)] == 27.0
+
+
+def test_cell_math():
+    cell = Figure4Cell(n_cpus=2, utilization=0.5, theoretical_s=10.0, real_s=11.0)
+    assert cell.slowdown_pct == pytest.approx(10.0)
+    assert "2P" in cell.row()

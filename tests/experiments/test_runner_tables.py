@@ -1,0 +1,78 @@
+"""Tests for the sweep runner and the paper reference tables."""
+
+import pytest
+
+from repro.experiments.runner import (
+    SweepResult,
+    processor_scaling_sweep,
+    prototype_response_s,
+    sweep,
+)
+from repro.experiments.tables import (
+    PAPER_APERIODIC_EXEC_S,
+    PAPER_SLOWDOWN_MATRIX,
+    format_slowdown_matrix,
+    format_task_table,
+)
+from repro.analysis.promotion import promotion_table
+from repro.workloads.automotive import build_automotive_taskset, prepare_taskset
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        calls = []
+
+        def measure(a, b):
+            calls.append((a, b))
+            return {"sum": a + b}
+
+        result = sweep(measure, {"a": [1, 2], "b": [10, 20]})
+        assert calls == [(1, 10), (1, 20), (2, 10), (2, 20)]
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_csv_and_format(self):
+        result = sweep(lambda x: {"y": x * x}, {"x": [1, 2, 3]})
+        csv_text = result.to_csv()
+        assert csv_text.splitlines()[0] == "x,y"
+        assert "9" in csv_text
+        formatted = result.format()
+        assert "x" in formatted and "y" in formatted
+
+    def test_empty_sweep(self):
+        result = SweepResult(parameters=["x"])
+        assert result.to_csv() == ""
+        assert "empty" in result.format()
+
+
+class TestPrototypeMeasurement:
+    def test_single_point_sane(self):
+        row = prototype_response_s(n_cpus=2, utilization=0.4, horizon_margin_s=14.0)
+        assert row["misses"] == 0
+        assert row["response_s"] > PAPER_APERIODIC_EXEC_S
+        assert 0.0 < row["bus_utilization"] < 1.0
+
+    def test_processor_scaling_sweep_shape(self):
+        result = processor_scaling_sweep(cpus=(2, 3), utilization=0.4)
+        responses = result.column("response_s")
+        assert len(responses) == 2
+        assert all(r > PAPER_APERIODIC_EXEC_S for r in responses)
+
+
+class TestTables:
+    def test_paper_constants(self):
+        assert PAPER_SLOWDOWN_MATRIX[(3, 0.50)] == 22.0
+        assert PAPER_APERIODIC_EXEC_S == 10.1
+
+    def test_format_task_table(self):
+        ts = prepare_taskset(build_automotive_taskset(0.5, 2), 2, tick=5_000_000)
+        rows = promotion_table(ts, 2)
+        text = format_task_table(rows)
+        assert "task" in text
+        assert "susan" not in text  # aperiodic not in the periodic table
+        assert "qsort-qsort-large" in text
+
+    def test_format_slowdown_matrix(self):
+        measured = {(2, 0.40): 5.0, (3, 0.60): 19.0}
+        text = format_slowdown_matrix(measured)
+        assert "5.0 (7)" in text
+        assert "19.0 (27)" in text

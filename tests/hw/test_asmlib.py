@@ -1,0 +1,142 @@
+"""Tests for subroutines (brl/jr) and the assembly routine library."""
+
+import binascii
+
+import pytest
+
+from repro.hw.asmlib import ROUTINES, link
+from repro.hw.isa import ISAExecutor
+from repro.hw.soc import SoC, SoCConfig
+
+
+def run(program, max_instructions=5_000_000):
+    soc = SoC(SoCConfig(n_cpus=1))
+    executor = ISAExecutor(soc.core(0), program)
+    soc.sim.process(executor.run(max_instructions))
+    soc.sim.run()
+    return soc, executor
+
+
+class TestSubroutines:
+    def test_brl_links_return_address(self):
+        program = link("""
+            addi r3, r0, 5
+            brl  r15, double_it
+            swi  r3, r0, 0x40010000
+            halt
+        double_it:
+            add  r3, r3, r3
+            jr   r15
+        """, routines=())
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40010000) == 10
+
+    def test_multiple_calls_same_routine(self):
+        program = link("""
+            addi r5, r0, 3
+            brl  r15, popcount32
+            addi r6, r3, 0
+            addi r5, r0, 0xFF
+            brl  r15, popcount32
+            add  r3, r3, r6
+            swi  r3, r0, 0x40010000
+            halt
+        """, routines=["popcount32"])
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40010000) == 2 + 8
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(KeyError):
+            link("halt", routines=["frobnicate"])
+
+    def test_duplicate_routine_included_once(self):
+        program = link("halt", routines=["array_sum", "array_sum"])
+        labels = [i.label for i in program.instructions if i.label]
+        assert labels.count("array_sum_loop") <= 2  # branch refs, one body
+
+
+class TestRoutines:
+    def test_memcpy_words(self):
+        program = link("""
+        .data 0x40010000
+        src: .word 11 22 33 44 55
+        .data 0x40020000
+        dst: .space 5
+        .text 0x40000000
+            addi r5, r0, src
+            addi r6, r0, dst
+            addi r7, r0, 5
+            brl  r15, memcpy_words
+            halt
+        """, routines=["memcpy_words"])
+        soc, _ = run(program)
+        assert [soc.ddr.read_word(0x40020000 + 4 * i) for i in range(5)] == [11, 22, 33, 44, 55]
+
+    def test_array_sum(self):
+        program = link("""
+        .data 0x40010000
+        arr: .word 10 20 30 40
+        .text 0x40000000
+            addi r5, r0, arr
+            addi r6, r0, 4
+            brl  r15, array_sum
+            swi  r3, r0, 0x40020000
+            halt
+        """, routines=["array_sum"])
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40020000) == 100
+
+    def test_array_sum_empty(self):
+        program = link("""
+            addi r5, r0, 0x40010000
+            addi r6, r0, 0
+            brl  r15, array_sum
+            swi  r3, r0, 0x40020000
+            halt
+        """, routines=["array_sum"])
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40020000) == 0
+
+    @pytest.mark.parametrize("value", [0, 1, 0xFFFFFFFF, 0x12345678])
+    def test_popcount32(self, value):
+        program = link(f"""
+            addi r5, r0, {value}
+            brl  r15, popcount32
+            swi  r3, r0, 0x40020000
+            halt
+        """, routines=["popcount32"])
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40020000) == bin(value).count("1")
+
+    @pytest.mark.parametrize("value", [0, 2, 100, 65_535, 1_000_000])
+    def test_isqrt32(self, value):
+        program = link(f"""
+            addi r5, r0, {value}
+            brl  r15, isqrt32
+            swi  r3, r0, 0x40020000
+            halt
+        """, routines=["isqrt32"])
+        soc, _ = run(program)
+        root = soc.ddr.read_word(0x40020000)
+        assert root * root <= value < (root + 1) * (root + 1)
+
+    def test_crc32_word_step_matches_binascii(self):
+        """One CRC-32 word step cross-checked against the reference
+        bit-reflected implementation."""
+        value = 0x12345678
+
+        def reference_step(word, crc):
+            crc ^= word
+            for _ in range(32):
+                crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+            return crc
+
+        program = link(f"""
+            addi r5, r0, {value}
+            addi r6, r0, 0xFFFFFFFF
+            brl  r15, crc32_word
+            swi  r3, r0, 0x40020000
+            halt
+        """, routines=["crc32_word"])
+        soc, _ = run(program)
+        assert soc.ddr.read_word(0x40020000) == reference_step(value, 0xFFFFFFFF)

@@ -1,0 +1,128 @@
+"""Tests for the IP-core offload device (booking use case)."""
+
+import pytest
+
+from repro.hw.bus import OPBBus
+from repro.hw.intc import MultiprocessorInterruptController
+from repro.hw.ipcore import IPCore
+from repro.sim import Simulator
+
+
+def setup(latency=1_000, compute=None):
+    sim = Simulator()
+    bus = OPBBus(sim)
+    intc = MultiprocessorInterruptController(sim, 3)
+    core = IPCore(sim, bus, intc, latency=latency, compute=compute)
+    lines = [False] * 3
+    for cpu in range(3):
+        intc.connect_cpu(cpu, lambda asserted, c=cpu: lines.__setitem__(c, asserted))
+    return sim, bus, intc, core, lines
+
+
+def test_completion_interrupt_booked_to_submitter():
+    sim, bus, intc, core, lines = setup()
+    jobs = []
+
+    def submitter():
+        job = yield from core.submit(cpu=1, payload=21)
+        jobs.append(job)
+
+    sim.process(submitter())
+    sim.run()
+    job = jobs[0]
+    assert job.done
+    # Only the submitting processor sees the completion.
+    assert lines == [False, True, False]
+    source, payload = intc.acknowledge(1)
+    assert payload["kind"] == "ipcore"
+    assert payload["job"] == job.job_id
+
+
+def test_compute_function_applied():
+    sim, bus, intc, core, lines = setup(compute=lambda x: x * 2)
+    results = []
+
+    def flow():
+        job = yield from core.submit(cpu=0, payload=21)
+        yield sim.timeout(core.latency + 10)
+        value = yield from core.read_back(0, job)
+        results.append(value)
+
+    sim.process(flow())
+    sim.run()
+    assert results == [42]
+
+
+def test_latency_respected():
+    sim, bus, intc, core, lines = setup(latency=5_000)
+    jobs = []
+
+    def submitter():
+        job = yield from core.submit(cpu=0)
+        jobs.append(job)
+
+    sim.process(submitter())
+    sim.run()
+    job = jobs[0]
+    assert job.completed_at - job.submitted_at == 5_000
+
+
+def test_busy_core_rejects_second_submission():
+    sim, bus, intc, core, lines = setup(latency=1_000)
+    errors = []
+
+    def first():
+        yield from core.submit(cpu=0)
+
+    def second():
+        yield sim.timeout(100)
+        try:
+            yield from core.submit(cpu=1)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    assert errors and "busy" in errors[0]
+
+
+def test_read_back_before_done_raises():
+    sim, bus, intc, core, lines = setup()
+
+    def flow():
+        job = yield from core.submit(cpu=0)
+        with pytest.raises(RuntimeError):
+            yield from core.read_back(0, job)
+
+    sim.process(flow())
+    sim.run()
+
+
+def test_invalid_latency():
+    sim = Simulator()
+    bus = OPBBus(sim)
+    intc = MultiprocessorInterruptController(sim, 1)
+    with pytest.raises(ValueError):
+        IPCore(sim, bus, intc, latency=0)
+
+
+def test_sequential_jobs_rebook():
+    sim, bus, intc, core, lines = setup(latency=500)
+    order = []
+
+    def flow():
+        job1 = yield from core.submit(cpu=2)
+        yield sim.timeout(600)
+        intc.acknowledge(2)
+        intc.complete(2)
+        order.append(job1.job_id)
+        job2 = yield from core.submit(cpu=0)
+        yield sim.timeout(600)
+        intc.acknowledge(0)
+        intc.complete(0)
+        order.append(job2.job_id)
+
+    sim.process(flow())
+    sim.run()
+    assert order == [0, 1]

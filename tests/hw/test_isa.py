@@ -1,0 +1,223 @@
+"""Tests for the MicroBlaze-subset ISA and assembler."""
+
+import pytest
+
+from repro.hw.assembler import AssemblerError, assemble
+from repro.hw.isa import ISAError, ISAExecutor
+from repro.hw.soc import SoC, SoCConfig
+
+
+def run_program(source, cpu=0, max_instructions=100_000):
+    soc = SoC(SoCConfig(n_cpus=1))
+    program = assemble(source)
+    executor = ISAExecutor(soc.core(cpu), program)
+    soc.sim.process(executor.run(max_instructions))
+    soc.sim.run()
+    return soc, executor
+
+
+class TestAssembler:
+    def test_labels_and_comments(self):
+        program = assemble("""
+        # a comment
+        start:
+            addi r1, r0, 5   ; trailing comment
+            br end
+            nop
+        end:
+            halt
+        """)
+        assert len(program.instructions) == 4
+        assert program.instructions[1].imm == 3  # 'end' is instruction 3
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\n nop\nx:\n halt")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("br nowhere")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r99")
+
+    def test_data_words_and_labels(self):
+        program = assemble("""
+        .data 0x40010000
+        table: .word 10 20 30
+        .text 0x40000000
+            lwi r1, r0, table
+            halt
+        """)
+        assert program.data[0x40010000] == 10
+        assert program.data[0x40010008] == 30
+        assert program.symbols["table"] == 0x40010000
+
+    def test_space_directive(self):
+        program = assemble("""
+        .data 0x40010000
+        buf: .space 4
+        tail: .word 9
+        .text
+            halt
+        """)
+        assert program.symbols["tail"] == 0x40010010
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".word 1 2 3")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        _, ex = run_program("""
+            addi r1, r0, 7
+            addi r2, r0, 5
+            add  r3, r1, r2
+            sub  r4, r1, r2
+            mul  r5, r1, r2
+            swi  r3, r0, 0x40010000
+            halt
+        """)
+        assert ex.state.read(3) == 12
+        assert ex.state.read(4) == 2
+        assert ex.state.read(5) == 35
+
+    def test_r0_is_hardwired_zero(self):
+        _, ex = run_program("""
+            addi r0, r0, 99
+            halt
+        """)
+        assert ex.state.read(0) == 0
+
+    def test_logic_and_shifts(self):
+        _, ex = run_program("""
+            addi r1, r0, 0xF0
+            andi r2, r1, 0x3C
+            ori  r3, r1, 0x0F
+            xori r4, r1, 0xFF
+            slli r5, r1, 4
+            srli r6, r1, 4
+            halt
+        """)
+        assert ex.state.read(2) == 0x30
+        assert ex.state.read(3) == 0xFF
+        assert ex.state.read(4) == 0x0F
+        assert ex.state.read(5) == 0xF00
+        assert ex.state.read(6) == 0x0F
+
+    def test_signed_arithmetic_shift(self):
+        _, ex = run_program("""
+            addi r1, r0, -8
+            srai r2, r1, 1
+            halt
+        """)
+        assert ex.state.read(2) == 0xFFFFFFFC  # -4 in two's complement
+
+    def test_loop_sums_array(self):
+        soc, ex = run_program("""
+        .data 0x40010000
+        arr: .word 1 2 3 4 5 6 7 8 9 10
+        .text 0x40000000
+            addi r3, r0, 0
+            addi r4, r0, arr
+            addi r5, r0, 10
+        loop:
+            lwi  r6, r4, 0
+            add  r3, r3, r6
+            addi r4, r4, 4
+            addi r5, r5, -1
+            bnez r5, loop
+            swi  r3, r0, 0x40010100
+            halt
+        """)
+        assert soc.ddr.read_word(0x40010100) == 55
+
+    def test_branch_conditions(self):
+        _, ex = run_program("""
+            addi r1, r0, -5
+            bltz r1, neg
+            addi r2, r0, 1
+            halt
+        neg:
+            addi r2, r0, 2
+            halt
+        """)
+        assert ex.state.read(2) == 2
+
+    def test_cmp_signed(self):
+        _, ex = run_program("""
+            addi r1, r0, 3
+            addi r2, r0, -7
+            cmp  r3, r1, r2    # r3 = r2 - r1 = -10 (negative)
+            bltz r3, smaller
+            addi r4, r0, 0
+            halt
+        smaller:
+            addi r4, r0, 1
+            halt
+        """)
+        assert ex.state.read(4) == 1
+
+    def test_local_vs_ddr_store(self):
+        soc, ex = run_program("""
+            addi r1, r0, 42
+            swi  r1, r0, 0x100        # local BRAM
+            swi  r1, r0, 0x40010000   # DDR
+            halt
+        """)
+        assert soc.core(0).local_mem.read_word(0x100) == 42
+        assert soc.ddr.read_word(0x40010000) == 42
+
+    def test_cycle_accounting_includes_cache_and_branches(self):
+        _, ex = run_program("""
+            addi r1, r0, 3
+        loop:
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        # Retired: 1 + 3*(addi+bnez) + halt = 8 instructions.
+        assert ex.state.instructions_retired == 8
+        # Cycles > retired because of branch penalties and I-cache miss.
+        assert ex.cycles > 8
+        assert ex.icache_misses >= 1
+
+    def test_icache_hits_on_loop(self):
+        _, ex = run_program("""
+            addi r1, r0, 100
+        loop:
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        # The loop fits in one or two lines: misses stay tiny.
+        assert ex.icache_misses <= 2
+        assert ex.core.icache.hits > 150
+
+    def test_instruction_budget_enforced(self):
+        with pytest.raises(ISAError):
+            run_program("""
+            loop:
+                br loop
+            """, max_instructions=100)
+
+    def test_pc_out_of_range_detected(self):
+        with pytest.raises(ISAError):
+            run_program("nop")  # falls off the end without halt
+
+    def test_unmapped_address_faults(self):
+        with pytest.raises(ISAError):
+            run_program("""
+                lwi r1, r0, 0x70000000
+                halt
+            """)

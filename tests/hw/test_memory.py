@@ -1,0 +1,75 @@
+"""Tests for the memory models."""
+
+import pytest
+
+from repro.hw.memory import DDRMemory, LocalBRAM, MemoryError_, SharedBRAM
+
+
+def test_local_bram_latency():
+    mem = LocalBRAM(0)
+    assert mem.access_latency(1) == 1
+    assert mem.access_latency(8) == 8
+
+
+def test_ddr_latency_first_word_dominates():
+    ddr = DDRMemory()
+    assert ddr.access_latency(1) == 12
+    assert ddr.access_latency(4) == 12 + 3 * 2
+    assert ddr.access_latency(8) == 12 + 7 * 2
+
+
+def test_shared_bram_latency():
+    bram = SharedBRAM()
+    assert bram.access_latency(1) == 2
+    assert bram.access_latency(4) == 5
+
+
+def test_latency_rejects_zero_words():
+    with pytest.raises(ValueError):
+        DDRMemory().access_latency(0)
+
+
+def test_read_write_roundtrip():
+    ddr = DDRMemory()
+    ddr.write_word(0x4000_0000, 0xDEADBEEF)
+    assert ddr.read_word(0x4000_0000) == 0xDEADBEEF
+
+
+def test_uninitialised_reads_zero():
+    assert DDRMemory().read_word(0x4000_0100) == 0
+
+
+def test_write_truncates_to_32_bits():
+    ddr = DDRMemory()
+    ddr.write_word(0x4000_0000, 0x1_2345_6789)
+    assert ddr.read_word(0x4000_0000) == 0x2345_6789
+
+
+def test_misaligned_access_rejected():
+    ddr = DDRMemory()
+    with pytest.raises(MemoryError_):
+        ddr.read_word(0x4000_0002)
+
+
+def test_out_of_range_rejected():
+    local = LocalBRAM(0, size=1024)
+    with pytest.raises(MemoryError_):
+        local.read_word(2048)
+
+
+def test_contains():
+    local = LocalBRAM(0, size=1024, base=0)
+    assert local.contains(0)
+    assert local.contains(1020)
+    assert not local.contains(1024)
+
+
+def test_bulk_load():
+    ddr = DDRMemory()
+    ddr.load(0x4000_0000, [1, 2, 3])
+    assert [ddr.read_word(0x4000_0000 + 4 * i) for i in range(3)] == [1, 2, 3]
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        LocalBRAM(0, size=10)  # not a multiple of 4

@@ -1,0 +1,165 @@
+"""Tests for the MicroBlaze core model (profile-driven execution)."""
+
+import pytest
+
+from repro.hw.bus import OPBBus
+from repro.hw.memory import DDRMemory
+from repro.hw.microblaze import ExecutionProfile, MicroBlaze, SegmentResult
+from repro.sim import Interrupt, Simulator
+
+
+def make_core(sim=None, cpu=0, chunk=1000):
+    sim = sim or Simulator()
+    bus = OPBBus(sim)
+    ddr = DDRMemory()
+    return sim, MicroBlaze(sim, cpu, bus, ddr, chunk_cycles=chunk)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ExecutionProfile(access_period=0)
+    with pytest.raises(ValueError):
+        ExecutionProfile(access_words=0)
+
+
+def test_nominal_bus_share():
+    ddr = DDRMemory()
+    profile = ExecutionProfile(access_period=100, access_words=4)
+    assert profile.nominal_bus_share(ddr) == pytest.approx(0.18)
+
+
+def test_uncontended_execution_takes_nominal_time():
+    sim, core = make_core()
+    result = SegmentResult()
+
+    def run():
+        yield from core.execute(10_000, ExecutionProfile(100, 4), result)
+
+    sim.process(run())
+    sim.run()
+    assert result.completed
+    assert result.nominal_done == 10_000
+    # Uncontended: real == nominal (bus latency is inside the budget).
+    assert result.real_cycles == 10_000
+    assert result.wait_cycles == 0
+    assert sim.now == 10_000
+
+
+def test_contended_execution_stretches():
+    sim = Simulator()
+    bus = OPBBus(sim)
+    ddr = DDRMemory()
+    a = MicroBlaze(sim, 0, bus, ddr, chunk_cycles=500)
+    b = MicroBlaze(sim, 1, bus, ddr, chunk_cycles=500)
+    results = [SegmentResult(), SegmentResult()]
+
+    def run(core, result):
+        yield from core.execute(20_000, ExecutionProfile(40, 4), result)
+
+    sim.process(run(a, results[0]))
+    sim.process(run(b, results[1]))
+    sim.run()
+    assert all(r.completed for r in results)
+    # Both saturate the bus (18/40 each): real time must exceed nominal.
+    assert results[0].real_cycles > 20_000 or results[1].real_cycles > 20_000
+    assert sim.now > 20_000
+
+
+def test_interrupt_mid_execution_credits_partial_progress():
+    sim, core = make_core(chunk=1000)
+    result = SegmentResult()
+    state = {}
+
+    def run():
+        try:
+            yield from core.execute(100_000, ExecutionProfile(100, 4), result)
+        except Interrupt:
+            state["interrupted_at"] = sim.now
+
+    proc = sim.process(run())
+    sim.schedule(12_345, lambda: proc.interrupt("irq"))
+    sim.run()
+    assert state["interrupted_at"] == 12_345
+    # Progress within ~1 chunk of the interrupt instant.
+    assert 11_345 <= result.nominal_done <= 12_345
+    assert not result.completed
+
+
+def test_zero_cycles_completes_immediately():
+    sim, core = make_core()
+    result = SegmentResult()
+
+    def run():
+        yield from core.execute(0, result=result)
+
+    sim.process(run())
+    sim.run()
+    assert result.completed
+    assert result.nominal_done == 0
+
+
+def test_negative_cycles_rejected():
+    sim, core = make_core()
+    with pytest.raises(ValueError):
+        list(core.execute(-1))
+
+
+def test_idle_accounting():
+    sim, core = make_core()
+
+    def run():
+        yield from core.idle(500)
+
+    sim.process(run())
+    sim.run()
+    assert core.idle_cycles == 500
+    assert core.busy_cycles == 0
+
+
+def test_irq_event_fires_immediately_if_asserted():
+    sim, core = make_core()
+    core.on_interrupt_line(True)
+    event = core.irq_event()
+    assert event.triggered
+
+
+def test_irq_event_waits_for_assertion():
+    sim, core = make_core()
+    event = core.irq_event()
+    assert not event.triggered
+    core.on_interrupt_line(True)
+    assert event.triggered
+
+
+def test_irq_event_respects_disable():
+    sim, core = make_core()
+    core.disable_interrupts()
+    core.on_interrupt_line(True)
+    event = core.irq_event()
+    assert not event.triggered
+    core.enable_interrupts()
+    assert event.triggered
+
+
+def test_enable_listener_called():
+    sim, core = make_core()
+    calls = []
+    core.add_enable_listener(calls.append)
+    core.disable_interrupts()
+    core.enable_interrupts()
+    assert calls == [False, True]
+
+
+def test_utilization_stats():
+    sim, core = make_core()
+
+    def run():
+        yield from core.execute(1000, ExecutionProfile(100, 4))
+        yield from core.idle(200)
+
+    sim.process(run())
+    sim.run()
+    stats = core.utilization_stats
+    assert stats["busy"] == 1000
+    assert stats["idle"] == 200
+    assert stats["nominal"] == 1000

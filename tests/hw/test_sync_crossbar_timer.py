@@ -1,0 +1,205 @@
+"""Tests for the synchronization engine, crossbar and system timer."""
+
+import pytest
+
+from repro.hw.crossbar import Crossbar
+from repro.hw.intc import InterruptMode, MultiprocessorInterruptController
+from repro.hw.sync_engine import SynchronizationEngine
+from repro.hw.timer import SystemTimer
+from repro.sim import Simulator
+
+
+class TestSyncEngine:
+    def test_free_lock_granted_immediately(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        grant = engine.acquire(0, cpu=0)
+        assert grant.triggered
+        assert engine.owner(0) == 0
+
+    def test_contended_lock_fifo_handover(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.acquire(0, cpu=0)
+        second = engine.acquire(0, cpu=1)
+        third = engine.acquire(0, cpu=2)
+        assert not second.triggered
+        engine.release(0, cpu=0)
+        assert second.triggered
+        assert engine.owner(0) == 1
+        engine.release(0, cpu=1)
+        assert third.triggered
+
+    def test_mutual_exclusion_invariant(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.acquire(0, cpu=0)
+        assert not engine.try_acquire(0, cpu=1)
+        engine.release(0, cpu=0)
+        assert engine.try_acquire(0, cpu=1)
+
+    def test_reacquire_by_owner_raises(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.acquire(0, cpu=0)
+        with pytest.raises(RuntimeError):
+            engine.acquire(0, cpu=0)
+
+    def test_release_by_non_owner_raises(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.acquire(0, cpu=0)
+        with pytest.raises(RuntimeError):
+            engine.release(0, cpu=1)
+
+    def test_lock_id_range_checked(self):
+        engine = SynchronizationEngine(Simulator(), n_locks=4)
+        with pytest.raises(ValueError):
+            engine.acquire(4, cpu=0)
+
+    def test_contention_stats(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.acquire(0, cpu=0)
+        engine.acquire(0, cpu=1)
+        assert engine.acquisitions == 1
+        assert engine.contended_acquisitions == 1
+
+    def test_barrier_releases_all_at_width(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.configure_barrier(0, width=3)
+        a = engine.barrier_wait(0, cpu=0)
+        b = engine.barrier_wait(0, cpu=1)
+        assert not a.triggered and not b.triggered
+        assert engine.barrier_count(0) == 2
+        c = engine.barrier_wait(0, cpu=2)
+        assert a.triggered and b.triggered and c.triggered
+        assert engine.barrier_count(0) == 0
+
+    def test_barrier_reusable_after_release(self):
+        sim = Simulator()
+        engine = SynchronizationEngine(sim)
+        engine.configure_barrier(0, width=2)
+        engine.barrier_wait(0, 0)
+        engine.barrier_wait(0, 1)
+        again = engine.barrier_wait(0, 0)
+        assert not again.triggered
+
+    def test_unconfigured_barrier_raises(self):
+        engine = SynchronizationEngine(Simulator())
+        with pytest.raises(RuntimeError):
+            engine.barrier_wait(0, 0)
+
+    def test_barrier_width_validation(self):
+        engine = SynchronizationEngine(Simulator())
+        with pytest.raises(ValueError):
+            engine.configure_barrier(0, width=0)
+        with pytest.raises(ValueError):
+            engine.configure_barrier(99, width=2)
+
+
+class TestCrossbar:
+    def test_send_receive_roundtrip(self):
+        sim = Simulator()
+        xbar = Crossbar(sim, n_ports=2)
+        got = []
+
+        def sender():
+            yield from xbar.send(0, 1, word=0xAB)
+
+        def receiver():
+            value = yield xbar.receive(0, 1)
+            got.append((sim.now, value))
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got == [(Crossbar.WORD_LATENCY, 0xAB)]
+
+    def test_channels_are_independent(self):
+        sim = Simulator()
+        xbar = Crossbar(sim, n_ports=3)
+
+        def send(src, dst, word):
+            yield from xbar.send(src, dst, word)
+
+        sim.process(send(0, 1, "a"))
+        sim.process(send(2, 1, "b"))
+        sim.run()
+        assert xbar.depth(0, 1) == 1
+        assert xbar.depth(2, 1) == 1
+        assert xbar.words_sent == 2
+
+    def test_no_loopback(self):
+        xbar = Crossbar(Simulator(), n_ports=2)
+        with pytest.raises(ValueError):
+            xbar.receive(1, 1)
+
+    def test_port_range(self):
+        xbar = Crossbar(Simulator(), n_ports=2)
+        with pytest.raises(ValueError):
+            xbar.receive(0, 5)
+
+
+class TestSystemTimer:
+    def test_periodic_ticks_raise_interrupts(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        seen = []
+        intc.connect_cpu(0, lambda asserted: seen.append((sim.now, asserted)))
+        timer = SystemTimer(sim, intc, period=100)
+        timer.start(first_tick=0)
+        sim.run(until=250)
+        assert timer.ticks == 3  # at 0, 100, 200
+        # One offer is asserted; the rest queue in the controller until
+        # the first is acknowledged (one pending offer per cpu).
+        assert intc.pending_for(0) == 1
+        for _ in range(3):
+            intc.acknowledge(0)
+            intc.complete(0)
+        assert intc.delivered == 3
+
+    def test_first_tick_default_one_period(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        timer = SystemTimer(sim, intc, period=100)
+        timer.start()
+        sim.run(until=99)
+        assert timer.ticks == 0
+        sim.run(until=100)
+        assert timer.ticks == 1
+
+    def test_stop_suppresses_future_ticks(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        timer = SystemTimer(sim, intc, period=50)
+        timer.start(first_tick=0)
+        sim.run(until=60)
+        timer.stop()
+        sim.run(until=500)
+        assert timer.ticks == 2
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        timer = SystemTimer(sim, intc, period=50)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_invalid_period(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        with pytest.raises(ValueError):
+            SystemTimer(sim, intc, period=0)
+
+    def test_timer_payload_carries_tick(self):
+        sim = Simulator()
+        intc = MultiprocessorInterruptController(sim, 1)
+        timer = SystemTimer(sim, intc, period=100)
+        timer.start(first_tick=0)
+        sim.run(until=10)
+        _source, payload = intc.acknowledge(0)
+        assert payload["kind"] == "timer"
+        assert payload["tick"] == 1

@@ -1,0 +1,93 @@
+"""Tests for the context-switch engine."""
+
+import pytest
+
+from repro.hw.bus import OPBBus
+from repro.hw.memory import DDRMemory
+from repro.hw.microblaze import MicroBlaze
+from repro.kernel.context import BURST_WORDS, ContextSwitchEngine, TaskContext
+from repro.sim import Simulator
+
+
+def make_engine(primitive=100, regfile=32):
+    sim = Simulator()
+    core = MicroBlaze(sim, 0, OPBBus(sim), DDRMemory())
+    return sim, core, ContextSwitchEngine(core, primitive_overhead=primitive, regfile_words=regfile)
+
+
+def test_context_created_once_per_task():
+    _, _, engine = make_engine()
+    a = engine.context_of("taskA", stack_words=128)
+    again = engine.context_of("taskA", stack_words=999)  # size ignored on reuse
+    assert a is again
+    assert a.stack_words == 128
+
+
+def test_total_words_includes_regfile():
+    ctx = TaskContext("t", stack_words=100, regfile_words=32)
+    assert ctx.total_words == 132
+
+
+def test_save_costs_overhead_plus_bus_bursts():
+    sim, core, engine = make_engine(primitive=100, regfile=32)
+    ctx = engine.context_of("t", stack_words=32)  # 64 words -> 8 bursts
+
+    def run():
+        yield from engine.save(ctx)
+
+    sim.process(run())
+    sim.run()
+    burst_latency = core.ddr.access_latency(BURST_WORDS)
+    assert sim.now == 100 + 8 * burst_latency
+    assert ctx.saved
+    assert engine.saves == 1
+    assert engine.cycles_spent == sim.now
+
+
+def test_restore_counts():
+    sim, core, engine = make_engine()
+    ctx = engine.context_of("t", stack_words=8)
+
+    def run():
+        yield from engine.restore(ctx)
+
+    sim.process(run())
+    sim.run()
+    assert engine.restores == 1
+    assert ctx.restore_count == 1
+
+
+def test_switch_save_then_restore():
+    sim, core, engine = make_engine()
+    old = engine.context_of("old", stack_words=8)
+    new = engine.context_of("new", stack_words=8)
+
+    def run():
+        yield from engine.switch(old, new)
+
+    sim.process(run())
+    sim.run()
+    assert engine.saves == 1
+    assert engine.restores == 1
+
+
+def test_switch_with_none_halves():
+    sim, core, engine = make_engine()
+    new = engine.context_of("new", stack_words=8)
+
+    def run():
+        yield from engine.switch(None, new)
+
+    sim.process(run())
+    sim.run()
+    assert engine.saves == 0
+    assert engine.restores == 1
+
+
+def test_validation():
+    sim = Simulator()
+    core = MicroBlaze(sim, 0, OPBBus(sim), DDRMemory())
+    with pytest.raises(ValueError):
+        ContextSwitchEngine(core, primitive_overhead=-1)
+    with pytest.raises(ValueError):
+        ContextSwitchEngine(core, regfile_words=-1)

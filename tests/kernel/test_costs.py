@@ -1,0 +1,38 @@
+"""Tests for the kernel cost model."""
+
+import pytest
+
+from repro.kernel.costs import KernelCosts
+
+
+def test_scheduler_cycle_linear_in_jobs():
+    costs = KernelCosts(scheduler_base=400, scheduler_per_job=60)
+    assert costs.scheduler_cycle(0) == 400
+    assert costs.scheduler_cycle(5) == 700
+    assert costs.scheduler_cycle(-3) == 400  # clamped
+
+
+def test_scaled_divides_with_floor_one():
+    costs = KernelCosts()
+    scaled = costs.scaled(1000)
+    assert scaled.irq_entry == max(1, costs.irq_entry // 1000)
+    assert scaled.scheduler_base >= 1
+    assert scaled.regfile_words >= 1
+    assert scaled.context_primitive >= 1
+
+
+def test_scale_one_returns_self():
+    costs = KernelCosts()
+    assert costs.scaled(1) is costs
+
+
+def test_scale_preserves_ratios_roughly():
+    costs = KernelCosts(scheduler_base=4000, irq_entry=800)
+    scaled = costs.scaled(10)
+    assert scaled.scheduler_base == 400
+    assert scaled.irq_entry == 80
+
+
+def test_invalid_scale():
+    with pytest.raises(ValueError):
+        KernelCosts().scaled(0)

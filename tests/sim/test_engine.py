@@ -1,0 +1,288 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator, Timeout
+
+
+def test_empty_run_leaves_clock_at_until():
+    sim = Simulator()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_run_without_until_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append(sim.now))
+    sim.schedule(2, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2, 5]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [42]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_ties_break_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(7, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append("early"))
+    sim.schedule(100, lambda: fired.append("late"))
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run(until=200)
+    assert fired == ["early", "late"]
+
+
+def test_event_succeed_runs_callbacks():
+    sim = Simulator()
+    event = sim.event()
+    got = []
+    event.callbacks.append(lambda e: got.append(e.value))
+    event.succeed(99)
+    sim.run()
+    assert got == [99]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_timeout_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timeout(sim, -1)
+
+
+def test_process_advances_through_timeouts():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield sim.timeout(3)
+        log.append(sim.now)
+        yield sim.timeout(4)
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [3, 7]
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.triggered
+    assert proc.value == "done"
+
+
+def test_process_can_wait_on_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(5)
+        return 21
+
+    def parent():
+        value = yield sim.process(child())
+        log.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert log == [(5, 21)]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_interrupt_lands_in_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    proc = sim.process(worker())
+    sim.schedule(10, lambda: proc.interrupt("stop"))
+    sim.run()
+    assert log == [(10, "stop")]
+
+
+def test_interrupt_guard_false_drops_interrupt():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(20)
+            log.append("completed")
+        except Interrupt:
+            log.append("interrupted")
+
+    proc = sim.process(worker())
+    sim.schedule(10, lambda: proc.interrupt("x", guard=lambda: False))
+    sim.run()
+    assert log == ["completed"]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1)
+
+    proc = sim.process(worker())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_interrupted_timeout_does_not_resume_later():
+    """After an interrupt, the abandoned timeout must not re-wake."""
+    sim = Simulator()
+    wakes = []
+
+    def worker():
+        try:
+            yield sim.timeout(50)
+            wakes.append("timeout")
+        except Interrupt:
+            yield sim.timeout(100)
+            wakes.append("after-interrupt")
+
+    proc = sim.process(worker())
+    sim.schedule(10, lambda: proc.interrupt())
+    sim.run()
+    assert wakes == ["after-interrupt"]
+    assert sim.now == 110
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield sim.any_of([sim.timeout(10), sim.timeout(3)])
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [3]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield sim.all_of([sim.timeout(10), sim.timeout(3)])
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [10]
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_process_failure_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_process_failure_raises_out_of_run():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.process(child())
+    with pytest.raises(ValueError):
+        sim.run()

@@ -1,0 +1,86 @@
+"""Tests for the replication/statistics framework."""
+
+import math
+
+import pytest
+
+from repro.simulators.batch import (
+    ReplicationSummary,
+    compare,
+    replicate,
+    t_critical_95,
+)
+
+
+def test_t_critical_values():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(10) == pytest.approx(2.228)
+    assert t_critical_95(100) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_replicate_runs_each_seed():
+    seen = []
+    summary = replicate("sq", lambda seed: (seen.append(seed), seed * seed)[1], 5)
+    assert seen == [0, 1, 2, 3, 4]
+    assert summary.samples == [0.0, 1.0, 4.0, 9.0, 16.0]
+    assert summary.mean == 6.0
+
+
+def test_explicit_seeds():
+    summary = replicate("x", float, 3, seeds=[10, 20, 30])
+    assert summary.samples == [10.0, 20.0, 30.0]
+    with pytest.raises(ValueError):
+        replicate("x", float, 3, seeds=[1, 2])
+
+
+def test_confidence_interval_shrinks_with_n():
+    wide = replicate("w", lambda s: float(s % 2), 4)
+    narrow = replicate("n", lambda s: float(s % 2), 30)
+    assert narrow.half_width_95 < wide.half_width_95
+
+
+def test_interval_contains_mean():
+    summary = replicate("c", lambda s: 10.0 + (s % 3), 9)
+    lo, hi = summary.interval_95
+    assert lo <= summary.mean <= hi
+
+
+def test_degenerate_cases():
+    one = ReplicationSummary("one", [5.0])
+    assert one.stdev == 0.0
+    assert math.isinf(ReplicationSummary("none", []).half_width_95) is False or True
+    with pytest.raises(ValueError):
+        _ = ReplicationSummary("none", []).mean
+
+
+def test_format_contains_statistics():
+    summary = replicate("fmt", lambda s: float(s), 5)
+    text = summary.format(unit=" s")
+    assert "fmt" in text and "n=5" in text and "CI" in text
+
+
+def test_compare_detects_clear_difference():
+    a = ReplicationSummary("a", [10.0, 10.1, 9.9, 10.05, 9.95])
+    b = ReplicationSummary("b", [20.0, 20.2, 19.8, 20.1, 19.9])
+    result = compare(a, b)
+    assert result["difference"] == pytest.approx(-10.0, abs=0.2)
+    assert result["significant"]
+
+
+def test_compare_overlapping_means_not_significant():
+    a = ReplicationSummary("a", [10.0, 12.0, 8.0, 11.0, 9.0])
+    b = ReplicationSummary("b", [10.5, 11.5, 8.5, 10.0, 9.5])
+    result = compare(a, b)
+    assert not result["significant"]
+
+
+def test_compare_needs_samples():
+    with pytest.raises(ValueError):
+        compare(ReplicationSummary("a", [1.0]), ReplicationSummary("b", [1.0, 2.0]))
+
+
+def test_replication_validation():
+    with pytest.raises(ValueError):
+        replicate("x", float, 0)

@@ -1,0 +1,114 @@
+"""Tests for the prototype simulator wrapper and workload scaling."""
+
+import pytest
+
+from repro.analysis import assign_promotions, partition
+from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
+from repro.kernel.microkernel import TaskBinding
+from repro.simulators.prototype import (
+    PrototypeConfig,
+    PrototypeSimulator,
+    scale_taskset,
+)
+from repro.simulators.theoretical import TheoreticalSimulator
+from repro.trace import compute_metrics
+
+
+def analysed(n_cpus=2, tick=100_000):
+    ts = TaskSet(
+        [
+            PeriodicTask(name="a", wcet=400_000, period=4_000_000),
+            PeriodicTask(name="b", wcet=600_000, period=6_000_000),
+        ],
+        [AperiodicTask(name="evt", wcet=500_000)],
+    ).with_deadline_monotonic_priorities()
+    ts = partition(ts, n_cpus)
+    return assign_promotions(ts, n_cpus, tick=tick)
+
+
+class TestScaleTaskset:
+    def test_scale_one_is_identity(self):
+        ts = analysed()
+        assert scale_taskset(ts, 1) is ts
+
+    def test_scale_divides_every_time(self):
+        ts = analysed()
+        scaled = scale_taskset(ts, 100)
+        a = scaled.by_name("a")
+        assert a.wcet == 4_000
+        assert a.period == 40_000
+        assert a.promotion == ts.by_name("a").promotion // 100
+        assert scaled.by_name("evt").wcet == 5_000
+
+    def test_scale_preserves_utilization(self):
+        ts = analysed()
+        scaled = scale_taskset(ts, 100)
+        assert scaled.utilization == pytest.approx(ts.utilization, rel=0.01)
+
+    def test_too_small_wcet_rejected(self):
+        ts = TaskSet([PeriodicTask(name="x", wcet=10, period=1000, promotion=0)])
+        with pytest.raises(ValueError):
+            scale_taskset(ts, 100)
+
+
+class TestPrototypeConfig:
+    def test_tick_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            PrototypeConfig(tick=5_000_000, scale=256)
+
+    def test_scale_minimum(self):
+        with pytest.raises(ValueError):
+            PrototypeConfig(scale=0)
+
+
+class TestPrototypeSimulator:
+    def test_runs_and_reports_full_scale(self):
+        ts = analysed(tick=100_000)
+        proto = PrototypeSimulator(
+            ts,
+            PrototypeConfig(n_cpus=2, tick=100_000, scale=10),
+            aperiodic_arrivals={"evt": [1_000_000]},
+        )
+        proto.run(12_000_000)
+        metrics = compute_metrics(proto.finished_jobs, 12_000_000 // 10)
+        assert metrics.finished_jobs > 3
+        evt = metrics.response_of("evt")
+        full = proto.to_full_scale(int(evt.mean))
+        # Response at full scale near the 500k execution time.
+        assert 500_000 <= full <= 1_200_000
+
+    def test_no_deadline_misses(self):
+        ts = analysed(tick=100_000)
+        proto = PrototypeSimulator(ts, PrototypeConfig(n_cpus=2, tick=100_000, scale=10))
+        proto.run(12_000_000)
+        assert not [j for j in proto.finished_jobs if j.missed_deadline]
+
+    def test_prototype_slower_than_theoretical(self):
+        """The paper's headline comparison, in miniature."""
+        ts = analysed(tick=100_000)
+        arrivals = {"evt": [1_000_000]}
+        theo = TheoreticalSimulator(ts, 2, tick=100_000, overhead=0.02,
+                                    aperiodic_arrivals=arrivals)
+        theo.run(12_000_000)
+        theo_resp = compute_metrics(theo.finished_jobs, 12_000_000).response_of("evt").mean
+
+        proto = PrototypeSimulator(
+            ts, PrototypeConfig(n_cpus=2, tick=100_000, scale=10),
+            bindings={"evt": TaskBinding()},
+            aperiodic_arrivals=arrivals,
+        )
+        proto.run(12_000_000)
+        proto_resp = proto.to_full_scale(
+            int(compute_metrics(proto.finished_jobs, 1_200_000).response_of("evt").mean)
+        )
+        assert proto_resp > theo_resp * 0.98  # at least comparable; usually above
+
+    def test_explicit_task_arrivals_honoured(self):
+        ts = TaskSet(
+            [PeriodicTask(name="a", wcet=100_000, period=1_000_000, promotion=0)],
+            [AperiodicTask(name="evt", wcet=50_000, arrivals=(500_000,))],
+        )
+        proto = PrototypeSimulator(ts, PrototypeConfig(n_cpus=1, tick=100_000, scale=10))
+        proto.run(2_000_000)
+        evt = [j for j in proto.finished_jobs if j.task.name == "evt"]
+        assert len(evt) == 1

@@ -1,0 +1,70 @@
+"""Tests for the side-by-side validation module."""
+
+import pytest
+
+from repro.analysis import assign_promotions, partition
+from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
+from repro.simulators.validation import TaskComparison, validate
+
+TICK = 100_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    ts = TaskSet(
+        [
+            PeriodicTask(name="a", wcet=200_000, period=2_000_000),
+            PeriodicTask(name="b", wcet=300_000, period=3_000_000),
+        ],
+        [AperiodicTask(name="evt", wcet=400_000)],
+    ).with_deadline_monotonic_priorities()
+    ts = assign_promotions(partition(ts, 2), 2, tick=TICK)
+    return validate(
+        ts, 2, tick=TICK, horizon=12_000_000, scale=10,
+        aperiodic_arrivals={"evt": [1_000_000]},
+    )
+
+
+def test_all_tasks_compared(result):
+    names = {c.task for c in result.comparisons}
+    assert names == {"a", "b", "evt"}
+
+
+def test_no_misses_either_side(result):
+    assert result.theoretical_misses == 0
+    assert result.prototype_misses == 0
+
+
+def test_prototype_not_faster_by_much(result):
+    # The prototype includes hardware overheads; the theoretical side
+    # includes a 2% inflation.  Per-task means must stay in the same
+    # ballpark with the prototype generally the slower one.
+    for comparison in result.comparisons:
+        assert comparison.prototype_mean > 0.8 * comparison.theoretical_mean
+
+
+def test_by_task_lookup(result):
+    assert result.by_task("evt").is_periodic is False
+    with pytest.raises(KeyError):
+        result.by_task("ghost")
+
+
+def test_worst_periodic_slowdown(result):
+    worst = result.worst_periodic_slowdown()
+    assert worst is not None
+    assert worst.is_periodic
+
+
+def test_format_renders(result):
+    text = result.format()
+    assert "evt" in text
+    assert "misses:" in text
+
+
+def test_comparison_math():
+    comparison = TaskComparison(
+        task="x", is_periodic=True,
+        theoretical_mean=100.0, prototype_mean=110.0,
+        jobs_theoretical=5, jobs_prototype=5,
+    )
+    assert comparison.slowdown_pct == pytest.approx(10.0)

@@ -1,0 +1,21 @@
+"""The tutorial's code blocks must run exactly as written."""
+
+import io
+import re
+from contextlib import redirect_stdout
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_code_blocks_execute():
+    source = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", source, re.S)
+    assert len(blocks) >= 5
+    code = "\n".join(blocks)
+    namespace = {}
+    with redirect_stdout(io.StringIO()) as captured:
+        exec(compile(code, str(TUTORIAL), "exec"), namespace)
+    output = captured.getvalue()
+    assert "schedulable: True" in output
+    assert "misses: theoretical=0 prototype=0" in output

@@ -1,0 +1,55 @@
+"""Tests for trace/metrics export."""
+
+import json
+
+from repro.core.task import Job, PeriodicTask
+from repro.trace.export import (
+    metrics_to_dict,
+    metrics_to_json,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_dicts,
+    trace_to_json,
+)
+from repro.trace.metrics import compute_metrics
+from repro.trace.recorder import TraceRecorder
+
+
+def sample_trace():
+    trace = TraceRecorder()
+    trace.record(0, "release", job="a#0")
+    trace.record(5, "dispatch", job="a#0", cpu=1)
+    trace.record(20, "finish", job="a#0", cpu=1, info="done")
+    return trace
+
+
+def test_json_roundtrip():
+    trace = sample_trace()
+    rebuilt = trace_from_json(trace_to_json(trace))
+    assert trace_to_dicts(rebuilt) == trace_to_dicts(trace)
+
+
+def test_json_is_valid_and_ordered():
+    data = json.loads(trace_to_json(sample_trace(), indent=2))
+    assert [row["time"] for row in data] == [0, 5, 20]
+    assert data[1]["cpu"] == 1
+
+
+def test_csv_has_header_and_rows():
+    text = trace_to_csv(sample_trace())
+    lines = text.strip().splitlines()
+    assert lines[0] == "time,kind,job,cpu,info"
+    assert len(lines) == 4
+    assert "finish" in lines[3]
+
+
+def test_metrics_export():
+    job = Job(PeriodicTask(name="t", wcet=10, period=100, promotion=0), release=0)
+    job.remaining = 0
+    job.record_finish(30)
+    metrics = compute_metrics([job], horizon=100)
+    data = metrics_to_dict(metrics)
+    assert data["finished_jobs"] == 1
+    assert data["response"]["t"]["mean"] == 30
+    parsed = json.loads(metrics_to_json(metrics))
+    assert parsed == json.loads(json.dumps(data))

@@ -1,0 +1,130 @@
+"""Tests for the CAN bus model and its response-time analysis."""
+
+import pytest
+
+from repro import CLOCK_HZ
+from repro.workloads.canbus import (
+    CANFrame,
+    CANMessage,
+    automotive_message_set,
+    bus_utilization,
+    can_response_time,
+    frame_arrival_times,
+)
+
+
+class TestCANFrame:
+    def test_identifier_range(self):
+        CANFrame(0x7FF, 8)
+        with pytest.raises(ValueError):
+            CANFrame(0x800, 8)
+        with pytest.raises(ValueError):
+            CANFrame(-1, 8)
+
+    def test_dlc_range(self):
+        with pytest.raises(ValueError):
+            CANFrame(0x100, 9)
+
+    def test_max_bits_known_values(self):
+        # 8-byte frame: 64 + 47 + floor(97/4) = 135 bits (classic bound).
+        assert CANFrame(0x100, 8).max_bits == 64 + 47 + 24
+        # 0-byte frame: 0 + 47 + floor(33/4) = 55 bits.
+        assert CANFrame(0x100, 0).max_bits == 47 + 8
+
+    def test_transmission_time_at_500k(self):
+        frame = CANFrame(0x100, 8)
+        assert frame.transmission_time(500_000) == pytest.approx(135 / 500_000)
+        # 270 us at 500 kbit/s = 13_500 cycles at 50 MHz.
+        assert frame.transmission_cycles(500_000) == 13_500
+
+    def test_bitrate_validation(self):
+        with pytest.raises(ValueError):
+            CANFrame(0x1, 1).transmission_time(0)
+
+
+class TestCANMessage:
+    def test_deadline_defaults_to_period(self):
+        msg = CANMessage(CANFrame(0x10, 4), period_cycles=1_000_000)
+        assert msg.deadline_cycles == 1_000_000
+
+    def test_priority_is_identifier(self):
+        low = CANMessage(CANFrame(0x600, 4), period_cycles=1_000)
+        high = CANMessage(CANFrame(0x080, 4), period_cycles=1_000)
+        assert high.priority < low.priority
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CANMessage(CANFrame(0x10, 4), period_cycles=0)
+
+
+class TestResponseTime:
+    def test_highest_priority_waits_only_for_blocking(self):
+        messages = automotive_message_set()
+        top = messages[0]
+        response = can_response_time(top, messages, bitrate=500_000)
+        own = top.frame.transmission_cycles(500_000)
+        longest_lower = max(
+            m.frame.transmission_cycles(500_000) for m in messages[1:]
+        )
+        assert response == own + longest_lower
+
+    def test_lower_priority_sees_interference(self):
+        messages = automotive_message_set()
+        top = can_response_time(messages[0], messages, bitrate=500_000)
+        bottom = can_response_time(messages[-1], messages, bitrate=500_000)
+        assert bottom > top
+
+    def test_all_automotive_messages_schedulable_at_500k(self):
+        messages = automotive_message_set()
+        for message in messages:
+            response = can_response_time(message, messages, bitrate=500_000)
+            assert response is not None
+            assert response <= message.deadline_cycles
+
+    def test_overload_detected_at_low_bitrate(self):
+        messages = automotive_message_set()
+        # At 10 kbit/s the 10 ms streams alone exceed the wire.
+        assert bus_utilization(messages, bitrate=10_000) > 1.0
+        lowest = messages[-1]
+        assert can_response_time(lowest, messages, bitrate=10_000) is None
+
+    def test_utilization_sane_at_500k(self):
+        u = bus_utilization(automotive_message_set(), bitrate=500_000)
+        assert 0.05 < u < 0.5
+
+
+class TestArrivalTimes:
+    def test_periodic_completions(self):
+        msg = CANMessage(CANFrame(0x100, 8), period_cycles=1_000_000)
+        times = frame_arrival_times(msg, bitrate=500_000, horizon=3_500_000)
+        wire = msg.frame.transmission_cycles(500_000)
+        assert times == [
+            wire, 1_000_000 + wire, 2_000_000 + wire, 3_000_000 + wire,
+        ]
+
+    def test_offset_shifts_series(self):
+        msg = CANMessage(CANFrame(0x100, 0), period_cycles=1_000_000)
+        plain = frame_arrival_times(msg, 500_000, 3_000_000)
+        shifted = frame_arrival_times(msg, 500_000, 3_000_000, offset=123)
+        assert [t - 123 for t in shifted] == plain[: len(shifted)]
+
+    def test_feeds_the_theoretical_simulator(self):
+        """End to end: CAN frame completions release the aperiodic."""
+        from repro.analysis import assign_promotions, partition
+        from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
+        from repro.simulators.theoretical import TheoreticalSimulator
+
+        msg = CANMessage(CANFrame(0x080, 8, "camera"), period_cycles=600_000)
+        arrivals = frame_arrival_times(msg, 500_000, horizon=2_000_000)
+        ts = TaskSet(
+            [PeriodicTask(name="p", wcet=50_000, period=400_000)],
+            [AperiodicTask(name="vision", wcet=80_000)],
+        ).with_deadline_monotonic_priorities()
+        ts = assign_promotions(partition(ts, 2), 2, tick=10_000)
+        sim = TheoreticalSimulator(
+            ts, 2, tick=10_000, overhead=0.0,
+            aperiodic_arrivals={"vision": arrivals},
+        )
+        sim.run(2_500_000)
+        vision_jobs = [j for j in sim.finished_jobs if j.task.name == "vision"]
+        assert len(vision_jobs) == len(arrivals)

@@ -1,0 +1,206 @@
+"""Functional tests of the MiBench kernel implementations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import basicmath, bitcount, qsort_bench, susan
+from repro.workloads.datasets import (
+    integer_array,
+    number_array,
+    synthetic_image,
+    vector_array,
+)
+
+
+class TestBasicmath:
+    def test_integer_sqrt_exact_squares(self):
+        for n in (0, 1, 4, 9, 144, 10_000, 2**30):
+            root, _ = basicmath.integer_sqrt(n)
+            assert root == int(math.isqrt(n))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 2**40))
+    def test_integer_sqrt_property(self, n):
+        root, iterations = basicmath.integer_sqrt(n)
+        assert root * root <= n < (root + 1) * (root + 1)
+        assert iterations < 64
+
+    def test_integer_sqrt_negative_rejected(self):
+        with pytest.raises(ValueError):
+            basicmath.integer_sqrt(-1)
+
+    def test_square_roots_batch(self):
+        checksum, units = basicmath.square_roots([4.0, 9.0, 16.0])
+        assert checksum == 2 + 3 + 4
+        assert units > 0
+
+    def test_first_derivative_of_linear_is_constant(self):
+        samples = [2.0 * x for x in range(10)]
+        total, units = basicmath.first_derivative(samples)
+        assert total == pytest.approx(2.0 * 8)  # 8 interior points
+        assert units == 24
+
+    def test_first_derivative_validation(self):
+        with pytest.raises(ValueError):
+            basicmath.first_derivative([1.0, 2.0])
+        with pytest.raises(ValueError):
+            basicmath.first_derivative([1.0, 2.0, 3.0], step=0)
+
+    def test_angle_roundtrip(self):
+        total, _ = basicmath.angle_conversions([180.0])
+        assert total == pytest.approx(180.0)
+
+    def test_solve_cubic_known_roots(self):
+        # (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        roots, _ = basicmath.solve_cubic(1, -6, 11, -6)
+        assert roots == pytest.approx([1.0, 2.0, 3.0], abs=1e-6)
+
+    def test_solve_cubic_single_real_root(self):
+        # x^3 + x + 10 has one real root at x = -2.
+        roots, _ = basicmath.solve_cubic(1, 0, 1, 10)
+        assert len(roots) == 1
+        assert roots[0] == pytest.approx(-2.0, abs=1e-6)
+
+    def test_solve_cubic_rejects_quadratic(self):
+        with pytest.raises(ValueError):
+            basicmath.solve_cubic(0, 1, 2, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        b=st.floats(-10, 10), c=st.floats(-10, 10), d=st.floats(-10, 10)
+    )
+    def test_solve_cubic_roots_satisfy_equation(self, b, c, d):
+        roots, _ = basicmath.solve_cubic(1.0, b, c, d)
+        for x in roots:
+            residual = x**3 + b * x**2 + c * x + d
+            scale = max(1.0, abs(x) ** 3, abs(b * x * x), abs(c * x), abs(d))
+            assert abs(residual) / scale < 1e-6
+
+
+class TestBitcount:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_all_counters_agree(self, value):
+        expected = bin(value).count("1")
+        for name, func in bitcount.COUNTERS.items():
+            count, _units = func(value)
+            assert count == expected, name
+
+    def test_edge_values(self):
+        for value in (0, 1, 0xFFFFFFFF, 0x80000000, 0x55555555):
+            assert bitcount.crosscheck([value])
+
+    def test_count_batch_totals(self):
+        total, units = bitcount.count_batch("parallel", [0b101, 0b11])
+        assert total == 4
+        assert units == 12
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError):
+            bitcount.count_batch("bogus", [1])
+
+    def test_sparse_cost_tracks_population(self):
+        _, low = bitcount.count_sparse(0b1)
+        _, high = bitcount.count_sparse(0xFFFFFFFF)
+        assert high > low
+
+
+class TestQsort:
+    def test_sorts_integers(self):
+        data, units = qsort_bench.sort_integers([5, 3, 8, 1, 9, 2])
+        assert data == [1, 2, 3, 5, 8, 9]
+        assert units > 0
+
+    def test_sorts_real_dataset(self):
+        data, _ = qsort_bench.sort_integers(integer_array("small"))
+        assert qsort_bench.is_sorted(data)
+        assert sorted(integer_array("small")) == data
+
+    def test_sorts_vectors_by_magnitude(self):
+        vectors, _ = qsort_bench.sort_vectors(vector_array("small"))
+        mags = [qsort_bench.vector_magnitude_squared(v) for v in vectors]
+        assert mags == sorted(mags)
+
+    def test_preserves_multiset(self):
+        original = integer_array("small")
+        data, _ = qsort_bench.sort_integers(original)
+        assert sorted(original) == data
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_quicksort_property(self, values):
+        data, _ = qsort_bench.sort_integers(values)
+        assert data == sorted(values)
+
+    def test_empty_and_singleton(self):
+        assert qsort_bench.sort_integers([])[0] == []
+        assert qsort_bench.sort_integers([7])[0] == [7]
+
+
+class TestSusan:
+    def test_smooth_preserves_shape_and_range(self):
+        image = synthetic_image("small")
+        out, units = susan.smooth(image)
+        assert len(out) == len(image)
+        assert all(0 <= v <= 255 for row in out for v in row)
+        assert units > 0
+
+    def test_smooth_reduces_noise_variance(self):
+        image = synthetic_image("small")
+        out, _ = susan.smooth(image)
+
+        def interior_roughness(img):
+            total = 0
+            for y in range(4, len(img) - 4):
+                for x in range(4, len(img[0]) - 4):
+                    total += abs(img[y][x] - img[y][x - 1])
+            return total
+
+        assert interior_roughness(out) < interior_roughness(image)
+
+    def test_edges_fire_on_rectangle_border(self):
+        image = synthetic_image("small")
+        response, _ = susan.edges(image)
+        side = len(image)
+        top, left, right = side // 8, side // 8, side // 2
+        # Some response along the rectangle's top edge.
+        border = [response[top][x] for x in range(left + 1, right - 1)]
+        assert any(v > 0 for v in border)
+
+    def test_flat_image_has_no_edges_or_corners(self):
+        flat = [[128] * 24 for _ in range(24)]
+        response, _ = susan.edges(flat)
+        assert all(v == 0 for row in response for v in row)
+        found, _ = susan.corners(flat)
+        assert found == []
+
+    def test_corners_found_near_rectangle_vertices(self):
+        image = synthetic_image("small")
+        found, _ = susan.corners(image)
+        assert found, "expected at least one corner"
+        side = len(image)
+        vertices = [
+            (side // 8, side // 8), (side // 8, side // 2 - 1),
+            (side // 2 - 1, side // 8), (side // 2 - 1, side // 2 - 1),
+        ]
+        def near_vertex(point):
+            return any(abs(point[0] - vy) <= 2 and abs(point[1] - vx) <= 2
+                       for vy, vx in vertices)
+        assert any(near_vertex(p) for p in found)
+
+    def test_ragged_image_rejected(self):
+        with pytest.raises(ValueError):
+            susan.edges([[1, 2], [3]])
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ValueError):
+            susan.smooth([])
+
+    def test_mask_is_circular_and_symmetric(self):
+        offsets = set(susan.MASK_OFFSETS)
+        assert (0, 0) not in offsets
+        for dy, dx in offsets:
+            assert (-dy, -dx) in offsets
+        assert len(offsets) == 36  # 37-pixel USAN mask minus the nucleus

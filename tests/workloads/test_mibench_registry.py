@@ -1,0 +1,125 @@
+"""Tests for the MiBench registry and the automotive workload builder."""
+
+import pytest
+
+from repro.analysis.schedulability import analyse_taskset
+from repro.workloads import (
+    AUTOMOTIVE_APERIODIC,
+    AUTOMOTIVE_PERIODIC,
+    MIBENCH_AUTOMOTIVE,
+    automotive_bindings,
+    build_automotive_taskset,
+    get_benchmark,
+    list_benchmarks,
+    prepare_taskset,
+    run_benchmark,
+)
+from repro.workloads.automotive import WCET_MARGIN, base_utilization
+from repro.workloads.datasets import dataset_sizes
+
+
+class TestRegistry:
+    def test_all_groups_present(self):
+        groups = {spec.group for spec in MIBENCH_AUTOMOTIVE.values()}
+        assert groups == {"basicmath", "bitcount", "qsort", "susan"}
+
+    def test_both_datasets_everywhere(self):
+        for name in list_benchmarks():
+            assert name.endswith("-small") or name.endswith("-large")
+
+    def test_large_wcet_exceeds_small(self):
+        for name in list_benchmarks():
+            if name.endswith("-small"):
+                large = name.replace("-small", "-large")
+                assert (
+                    MIBENCH_AUTOMOTIVE[large].wcet_cycles
+                    > MIBENCH_AUTOMOTIVE[name].wcet_cycles
+                )
+
+    def test_paper_calibration_point(self):
+        # susan/large = the aperiodic task: ~10.1 s at 50 MHz.
+        spec = get_benchmark("susan-smoothing-large")
+        assert spec.wcet_cycles == 505_000_000
+        assert spec.wcet_cycles / 50_000_000 == pytest.approx(10.1)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quake-3")
+
+    def test_list_by_group(self):
+        names = list_benchmarks(group="bitcount")
+        assert len(names) == 10
+        assert all("bitcount" in n for n in names)
+
+    def test_every_benchmark_actually_runs(self):
+        for name in list_benchmarks():
+            if name.endswith("-large") and "susan" in name:
+                continue  # large susan is slow in pure Python; small covers it
+            result = run_benchmark(name)
+            assert result.work_units > 0
+
+    def test_work_units_scale_with_dataset(self):
+        small = run_benchmark("qsort-qsort-small").work_units
+        large = run_benchmark("qsort-qsort-large").work_units
+        assert large > 2 * small
+        assert dataset_sizes("large")["array"] > dataset_sizes("small")["array"]
+
+    def test_runs_are_deterministic(self):
+        a = run_benchmark("bitcount-parallel-small")
+        b = run_benchmark("bitcount-parallel-small")
+        assert a == b
+
+
+class TestAutomotiveWorkload:
+    def test_eighteen_periodic_one_aperiodic(self):
+        assert len(AUTOMOTIVE_PERIODIC) == 18
+        ts = build_automotive_taskset(0.5, 2)
+        assert len(ts.periodic) == 18
+        assert len(ts.aperiodic) == 1
+        assert ts.aperiodic[0].name == AUTOMOTIVE_APERIODIC
+
+    @pytest.mark.parametrize("n_cpus", [2, 3, 4])
+    @pytest.mark.parametrize("util", [0.40, 0.50, 0.60])
+    def test_utilization_targets_met(self, n_cpus, util):
+        ts = build_automotive_taskset(util, n_cpus)
+        assert ts.utilization == pytest.approx(util * n_cpus, rel=0.02)
+
+    def test_acet_below_wcet_by_margin(self):
+        ts = build_automotive_taskset(0.5, 2)
+        for task in ts.periodic:
+            assert task.wcet == pytest.approx(task.acet * WCET_MARGIN, rel=0.01)
+
+    def test_workload_scales_with_cpus(self):
+        two = build_automotive_taskset(0.5, 2)
+        four = build_automotive_taskset(0.5, 4)
+        # Same utilization fraction on more cpus = shorter periods.
+        assert four.by_name("qsort-qsort-large").period < two.by_name(
+            "qsort-qsort-large"
+        ).period
+
+    def test_prepare_produces_schedulable_partition(self):
+        for n_cpus in (2, 3, 4):
+            ts = build_automotive_taskset(0.60, n_cpus)
+            prepared = prepare_taskset(ts, n_cpus, tick=5_000_000)
+            report = analyse_taskset(prepared, n_cpus)
+            assert report.schedulable
+            prepared.require_analysed()
+
+    def test_promotions_tick_aligned(self):
+        ts = prepare_taskset(build_automotive_taskset(0.5, 2), 2, tick=5_000_000)
+        assert all(t.promotion % 5_000_000 == 0 for t in ts.periodic)
+
+    def test_bindings_cover_all_tasks(self):
+        bindings = automotive_bindings()
+        ts = build_automotive_taskset(0.5, 2)
+        for task in ts:
+            assert task.name in bindings
+
+    def test_base_utilization_positive(self):
+        assert 0.5 < base_utilization() < 3.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            build_automotive_taskset(0.0, 2)
+        with pytest.raises(ValueError):
+            build_automotive_taskset(1.0, 2)
