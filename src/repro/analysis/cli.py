@@ -17,20 +17,40 @@ from repro.analysis.partitioning import partition
 from repro.analysis.promotion import assign_promotions, promotion_table
 from repro.analysis.schedulability import analyse_taskset
 from repro.core.task import PeriodicTask, TaskSet
+from repro.lint.diagnostics import LintError, require_ok
+from repro.lint.tasks import lint_task_rows, lint_taskset
 
 
 def load_task_csv(path: str) -> TaskSet:
-    """Parse ``name,wcet,period[,deadline]`` rows into a TaskSet."""
-    periodic: List[PeriodicTask] = []
+    """Parse ``name,wcet,period[,deadline]`` rows into a TaskSet.
+
+    Rows are linted (``TASK001``/``TASK009``) before task construction,
+    so a malformed table fails with every offending row named instead of
+    the first constructor ValueError.
+    """
+    rows: List[dict] = []
     with open(path, newline="") as handle:
         for row in csv.reader(handle):
             if not row or row[0].startswith("#") or row[0] == "name":
                 continue
-            name, wcet, period = row[0], int(row[1]), int(row[2])
-            deadline = int(row[3]) if len(row) > 3 and row[3] else None
-            periodic.append(
-                PeriodicTask(name=name, wcet=wcet, period=period, deadline=deadline)
+            rows.append(
+                {
+                    "name": row[0],
+                    "wcet": row[1] if len(row) > 1 else None,
+                    "period": row[2] if len(row) > 2 else None,
+                    "deadline": row[3] if len(row) > 3 and row[3] else None,
+                }
             )
+    require_ok(lint_task_rows(rows), subject=path)
+    periodic = [
+        PeriodicTask(
+            name=row["name"],
+            wcet=int(row["wcet"]),
+            period=int(row["period"]),
+            deadline=int(row["deadline"]) if row["deadline"] else None,
+        )
+        for row in rows
+    ]
     return TaskSet(periodic).with_deadline_monotonic_priorities()
 
 
@@ -64,7 +84,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    taskset = load_task_csv(args.csv)
+    try:
+        taskset = load_task_csv(args.csv)
+    except LintError as exc:
+        print(exc.report.format(header=f"lint: {args.csv}"), file=sys.stderr)
+        return 1
     try:
         analysed, report, rows = run_analysis(
             taskset, args.cpus, heuristic=args.heuristic, tick=args.tick
@@ -72,6 +96,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except Exception as exc:  # surface analysis failures as exit codes
         print(f"analysis failed: {exc}", file=sys.stderr)
         return 1
+
+    lint_report = lint_taskset(analysed, args.cpus, tick=args.tick)
+    if not lint_report.clean:
+        print(lint_report.format(header="task-set lint"), file=sys.stderr)
+        if not lint_report.ok:
+            return 1
 
     print(report.format())
     print()

@@ -21,6 +21,17 @@ from typing import Iterable, List, Optional, Sequence
 from repro.core.task import PeriodicTask
 
 
+class RecurrenceDivergenceError(RuntimeError):
+    """The W_i recurrence hit its iteration guard without converging.
+
+    This is the signature of a task group whose utilization is at (or
+    numerically indistinguishable from) 1: each iteration grows w by a
+    little and the fixpoint never arrives before the divergence bound
+    does.  The message carries the interferer utilization so the caller
+    can report an actionable diagnostic instead of spinning.
+    """
+
+
 @dataclass(frozen=True)
 class ResponseTimeResult:
     """Outcome of the W_i recurrence for one task.
@@ -90,6 +101,13 @@ def busy_period_recurrence(
         the classical Audsley/Tindell extension: an interferer whose
         release wobbles by J_j can hit the busy period ceil((w+J)/T)
         times.
+    max_iterations:
+        Hard guard on recurrence steps.  Convergence before ``limit``
+        is only guaranteed when the group's utilization is < 1; at
+        utilization >= 1 with a large ``limit`` the recurrence would
+        crawl upward one interferer job at a time, so exceeding the
+        guard raises :class:`RecurrenceDivergenceError` with the
+        offending utilization instead of looping.
     """
     if wcet <= 0:
         raise ValueError("wcet must be positive")
@@ -115,8 +133,13 @@ def busy_period_recurrence(
                 task="", wcrt=w, schedulable=True, iterations=iteration
             )
         w = w_next
-    raise RuntimeError(
-        f"response-time recurrence did not converge in {max_iterations} iterations"
+    interferer_util = sum(t.wcet / t.period for t in interferers)
+    raise RecurrenceDivergenceError(
+        f"response-time recurrence did not converge in {max_iterations} "
+        f"iterations (w={w}, limit={limit}); interferer utilization is "
+        f"{interferer_util:.3f} -- at per-processor utilization >= 1 the busy "
+        "period never closes; shed load from this processor or lower the "
+        "divergence limit"
     )
 
 

@@ -19,6 +19,7 @@ from repro import CLOCK_HZ, cycles_to_seconds
 from repro.hw.microblaze import ExecutionProfile
 from repro.kernel.costs import KernelCosts
 from repro.kernel.microkernel import TaskBinding
+from repro.lint.tasks import check_taskset
 from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
 from repro.trace.metrics import compute_metrics
 from repro.workloads.automotive import (
@@ -105,6 +106,7 @@ def prototype_response_s(
     taskset = prepare_taskset(
         build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
     )
+    check_taskset(taskset, n_cpus, tick=TICK)
     arrival = int(arrival_s * CLOCK_HZ)
     horizon = arrival + int(horizon_margin_s * CLOCK_HZ)
     proto = PrototypeSimulator(

@@ -24,6 +24,7 @@ for code labels used via ``la``-style addi).
 
 from __future__ import annotations
 
+import difflib
 import re
 from typing import Dict, List, Optional, Tuple
 
@@ -34,6 +35,12 @@ _LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
 class AssemblerError(Exception):
     """Syntax or linkage error, annotated with the source line."""
+
+
+def _suggest(name: str, candidates) -> str:
+    """" (did you mean 'x'?)" when a close label name exists."""
+    close = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return f" (did you mean {close[0]!r}?)" if close else ""
 
 
 def _parse_register(token: str, line_no: int) -> int:
@@ -67,6 +74,7 @@ class Assembler:
         instructions: List[Tuple[int, str, List[str]]] = []  # (line_no, op, operands)
         code_labels: Dict[str, int] = {}
         data_labels: Dict[str, int] = {}
+        label_lines: Dict[str, int] = {}  # label -> defining source line
         data: Dict[int, int] = {}
         text_base = self.text_base
         mode = "text"
@@ -84,7 +92,11 @@ class Assembler:
                     break
                 label, line = match.group(1), match.group(2).strip()
                 if label in code_labels or label in data_labels:
-                    raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+                    raise AssemblerError(
+                        f"line {line_no}: duplicate label {label!r} "
+                        f"(first defined on line {label_lines[label]})"
+                    )
+                label_lines[label] = line_no
                 if mode == "text":
                     code_labels[label] = len(instructions)
                 else:
@@ -137,18 +149,31 @@ class Assembler:
                     return data_labels[token]
                 if token in code_labels:
                     return text_base + 4 * code_labels[token]
-                raise AssemblerError(f"line {line_no}: undefined label {token!r}")
+                raise AssemblerError(
+                    f"line {line_no}: undefined label {token!r}"
+                    + _suggest(token, set(data_labels) | set(code_labels))
+                )
             return _parse_int(token, line_no)
 
         def resolve_branch(token: str, line_no: int) -> int:
             if _LABEL_RE.match(token):
                 if token in code_labels:
                     return code_labels[token]
-                raise AssemblerError(f"line {line_no}: undefined code label {token!r}")
+                if token in data_labels:
+                    raise AssemblerError(
+                        f"line {line_no}: branch target {token!r} is a data "
+                        f"label (defined on line {label_lines[token]}), not code"
+                    )
+                raise AssemblerError(
+                    f"line {line_no}: undefined code label {token!r}"
+                    + _suggest(token, code_labels)
+                )
             return _parse_int(token, line_no)
 
         decoded: List[Instruction] = []
+        source_lines: List[int] = []
         for line_no, op, operands in instructions:
+            source_lines.append(line_no)
             signature = OPCODES[op]
             if signature == "" and operands:
                 raise AssemblerError(f"line {line_no}: {op} takes no operands")
@@ -189,7 +214,13 @@ class Assembler:
 
         symbols = dict(data_labels)
         symbols.update({k: text_base + 4 * v for k, v in code_labels.items()})
-        return Program(instructions=decoded, base=text_base, data=data, symbols=symbols)
+        return Program(
+            instructions=decoded,
+            base=text_base,
+            data=data,
+            symbols=symbols,
+            lines=source_lines,
+        )
 
 
 def assemble(source: str, text_base: int = 0x4000_0000) -> Program:

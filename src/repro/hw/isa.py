@@ -105,13 +105,16 @@ class Program:
 
     ``base`` is the load address of the text section (instruction i
     lives at ``base + 4*i`` for cache purposes).  ``data`` maps
-    absolute word addresses to initial values.
+    absolute word addresses to initial values.  ``lines`` (parallel to
+    ``instructions``, when the assembler provides it) maps each
+    instruction back to its source line for diagnostics.
     """
 
     instructions: List[Instruction]
     base: int = 0x4000_0000
     data: Dict[int, int] = field(default_factory=dict)
     symbols: Dict[str, int] = field(default_factory=dict)
+    lines: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -151,11 +154,17 @@ class ISAExecutor:
     program:
         Assembled program.  Data words are loaded into DDR (or the
         region owning their address) before execution.
+    trace:
+        Optional :class:`~repro.trace.recorder.TraceRecorder`; when
+        given, every *shared* (non-local) data access is recorded as an
+        ``access`` event so the race checker in
+        :mod:`repro.lint.concurrency` can analyse the run.
     """
 
-    def __init__(self, core: MicroBlaze, program: Program):
+    def __init__(self, core: MicroBlaze, program: Program, trace=None):
         self.core = core
         self.program = program
+        self.trace = trace
         self.state = CPUState()
         self.cycles = 0
         self.icache_misses = 0
@@ -186,6 +195,13 @@ class ISAExecutor:
         start = self.core.sim.now
         yield from self.core.bus.transfer(self.core.cpu_id, region, words=1)
         self.cycles += self.core.sim.now - start
+        if self.trace is not None:
+            self.trace.record(
+                self.core.sim.now,
+                "access",
+                cpu=self.core.cpu_id,
+                info=f"addr={addr:#x} op={'read' if value is None else 'write'}",
+            )
         if value is None:
             return region.read_word(addr)
         region.write_word(addr, value)

@@ -20,14 +20,22 @@ from repro.sim.events import Event
 
 
 class SynchronizationEngine:
-    """Hardware lock and barrier coprocessor."""
+    """Hardware lock and barrier coprocessor.
+
+    When given a ``trace`` recorder the engine emits the concurrency
+    event vocabulary (``acquire`` at grant time, ``release``,
+    ``barrier`` per arrival) that the race/deadlock checker in
+    :mod:`repro.lint.concurrency` consumes.
+    """
 
     REGISTERS = RegisterTarget(name="sync-engine", latency=2)
 
-    def __init__(self, sim: Simulator, n_locks: int = 32, n_barriers: int = 8):
+    def __init__(self, sim: Simulator, n_locks: int = 32, n_barriers: int = 8,
+                 trace=None):
         if n_locks < 1 or n_barriers < 0:
             raise ValueError("need at least one lock")
         self.sim = sim
+        self.trace = trace
         self.n_locks = n_locks
         self.n_barriers = n_barriers
         self._owners: List[Optional[int]] = [None] * n_locks
@@ -37,6 +45,10 @@ class SynchronizationEngine:
         self.acquisitions = 0
         self.contended_acquisitions = 0
 
+    def _record(self, kind: str, cpu: int, info: str) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, kind, cpu=cpu, info=info)
+
     # ------------------------------------------------------------------- locks
     def acquire(self, lock_id: int, cpu: int) -> Event:
         """Request a lock; the returned event fires when it is granted."""
@@ -45,6 +57,7 @@ class SynchronizationEngine:
         if self._owners[lock_id] is None:
             self._owners[lock_id] = cpu
             self.acquisitions += 1
+            self._record("acquire", cpu, f"lock={lock_id}")
             event.succeed(lock_id)
         else:
             if self._owners[lock_id] == cpu:
@@ -59,6 +72,7 @@ class SynchronizationEngine:
         if self._owners[lock_id] is None:
             self._owners[lock_id] = cpu
             self.acquisitions += 1
+            self._record("acquire", cpu, f"lock={lock_id}")
             return True
         return False
 
@@ -69,10 +83,12 @@ class SynchronizationEngine:
             raise RuntimeError(
                 f"cpu {cpu} releasing lock {lock_id} owned by {self._owners[lock_id]}"
             )
+        self._record("release", cpu, f"lock={lock_id}")
         if self._waiters[lock_id]:
             next_cpu, event = self._waiters[lock_id].popleft()
             self._owners[lock_id] = next_cpu
             self.acquisitions += 1
+            self._record("acquire", next_cpu, f"lock={lock_id}")
             event.succeed(lock_id)
         else:
             self._owners[lock_id] = None
@@ -102,6 +118,10 @@ class SynchronizationEngine:
         event = Event(self.sim, name=f"barrier{barrier_id}.release")
         arrived = self._barrier_arrived[barrier_id]
         arrived.append(event)
+        self._record(
+            "barrier", cpu,
+            f"barrier={barrier_id} width={self._barrier_width[barrier_id]}",
+        )
         if len(arrived) >= self._barrier_width[barrier_id]:
             self._barrier_arrived[barrier_id] = []
             for waiter in arrived:

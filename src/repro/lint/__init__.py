@@ -1,0 +1,56 @@
+"""``repro.lint`` -- deterministic static checking before anything runs.
+
+Three passes over the reproduction's three input kinds, sharing one
+diagnostic model (:class:`~repro.lint.diagnostics.Diagnostic`):
+
+- :mod:`repro.lint.asm` -- CFG/dataflow/WCET analysis of assembled
+  MicroBlaze-subset programs;
+- :mod:`repro.lint.tasks` -- task-table and schedulability linting for
+  the offline analysis pipeline;
+- :mod:`repro.lint.concurrency` -- lockset race detection and
+  lock-order deadlock detection over recorded traces.
+
+``repro-lint`` (:mod:`repro.lint.cli`) exposes all three on the command
+line; ``docs/LINT.md`` catalogues every rule code.
+"""
+
+from repro.lint.asm import (
+    CALLING_CONVENTION_PARAMS,
+    CostModel,
+    MemoryRegion,
+    ProgramAnalysis,
+    WCETResult,
+    lint_program,
+    lint_source,
+    wcet_bound,
+)
+from repro.lint.concurrency import ConcurrencyChecker, lint_trace
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+    require_ok,
+)
+from repro.lint.tasks import check_taskset, lint_task_rows, lint_taskset
+
+__all__ = [
+    "CALLING_CONVENTION_PARAMS",
+    "ConcurrencyChecker",
+    "CostModel",
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "MemoryRegion",
+    "ProgramAnalysis",
+    "Severity",
+    "WCETResult",
+    "check_taskset",
+    "lint_program",
+    "lint_source",
+    "lint_task_rows",
+    "lint_taskset",
+    "lint_trace",
+    "require_ok",
+    "wcet_bound",
+]

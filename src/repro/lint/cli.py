@@ -1,0 +1,348 @@
+"""``repro-lint``: the static-analysis front end.
+
+Three subcommands, one per pass, plus a self-check smoke mode::
+
+    repro-lint asm prog.s [--param r5 --param r15] [--wcet --loop-bound loop=32]
+    repro-lint tasks table.csv --cpus 2 [--tick 10000]
+    repro-lint trace trace.json
+    repro-lint --self-check
+
+Exit status: 0 when no *errors* were reported (warnings are printed but
+do not fail the run), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Union
+
+from repro.lint.diagnostics import LintReport, Severity
+
+
+def _print_report(report: LintReport, header: str, out=None) -> int:
+    out = out or sys.stdout
+    print(report.format(header=header), file=out)
+    return 0 if report.ok else 1
+
+
+# ------------------------------------------------------------------------ asm
+def _parse_loop_bounds(items: List[str]) -> Dict[Union[str, int], int]:
+    bounds: Dict[Union[str, int], int] = {}
+    for item in items:
+        label, _, value = item.partition("=")
+        if not _ or not label or not value:
+            raise SystemExit(f"--loop-bound expects LABEL=N, got {item!r}")
+        try:
+            bounds[label] = int(value, 0)
+        except ValueError:
+            raise SystemExit(f"--loop-bound {item!r}: bound must be an integer")
+    return bounds
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    from repro.hw.assembler import AssemblerError, assemble
+    from repro.lint.asm import lint_program, wcet_bound
+
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
+        return 1
+    try:
+        program = assemble(source, text_base=args.text_base)
+    except AssemblerError as exc:
+        print(f"ASM000 error: {exc}", file=sys.stderr)
+        return 1
+
+    entry = 0
+    if args.entry is not None:
+        address = program.symbols.get(args.entry)
+        if address is None:
+            print(f"unknown entry label {args.entry!r}", file=sys.stderr)
+            return 1
+        entry = (address - program.base) // 4
+
+    report = lint_program(program, entry=entry, params=args.param)
+    status = _print_report(report, header=f"asm lint: {args.file}")
+    if args.wcet:
+        result = wcet_bound(
+            program, loop_bounds=_parse_loop_bounds(args.loop_bound), entry=entry
+        )
+        for diag in result.report:
+            if diag.rule == "ASM006":
+                print(diag.format())
+                status = 1
+        if result.bounded:
+            print(f"static WCET bound: {result.cycles} cycles")
+        else:
+            print("static WCET bound: unbounded (see diagnostics)")
+            status = 1
+    return status
+
+
+# ---------------------------------------------------------------------- tasks
+def _cmd_tasks(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro.analysis.partitioning import PartitioningError, partition
+    from repro.analysis.promotion import assign_promotions
+    from repro.core.task import PeriodicTask, TaskSet
+    from repro.lint.tasks import lint_task_rows, lint_taskset
+
+    rows = []
+    try:
+        handle = open(args.file, newline="")
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
+        return 1
+    with handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#") or row[0] == "name":
+                continue
+            rows.append(
+                {
+                    "name": row[0],
+                    "wcet": row[1] if len(row) > 1 else None,
+                    "period": row[2] if len(row) > 2 else None,
+                    "deadline": row[3] if len(row) > 3 and row[3] else None,
+                }
+            )
+    row_report = lint_task_rows(rows)
+    status = _print_report(row_report, header=f"task rows: {args.file}")
+    if not row_report.ok:
+        return status
+
+    taskset = TaskSet(
+        [
+            PeriodicTask(
+                name=row["name"],
+                wcet=int(row["wcet"]),
+                period=int(row["period"]),
+                deadline=int(row["deadline"]) if row["deadline"] else None,
+            )
+            for row in rows
+        ]
+    ).with_deadline_monotonic_priorities()
+
+    set_report = LintReport()
+    try:
+        taskset = partition(taskset, args.cpus, heuristic=args.heuristic)
+        taskset = assign_promotions(taskset, args.cpus, tick=args.tick)
+    except (PartitioningError, ValueError) as exc:
+        set_report.add(
+            "TASK003",
+            Severity.ERROR,
+            f"offline analysis failed: {exc}",
+            location="task set",
+            hint="the set is infeasible on this processor count",
+        )
+    set_report.extend(lint_taskset(taskset, args.cpus, tick=args.tick))
+    return max(status, _print_report(set_report, header=f"task set ({args.cpus} cpus)"))
+
+
+# ---------------------------------------------------------------------- trace
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.lint.concurrency import lint_trace
+    from repro.trace.export import trace_from_json
+
+    try:
+        with open(args.file) as handle:
+            trace = trace_from_json(handle.read())
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
+        return 1
+    report = lint_trace(trace)
+    return _print_report(report, header=f"trace lint: {args.file} ({len(trace)} events)")
+
+
+# ----------------------------------------------------------------- self-check
+def self_check(out=None) -> int:
+    """Smoke-run all three passes against built-in fixtures.
+
+    Verifies that every pass still flags its canonical bad input and
+    stays silent on known-good ones, including a live cross-check of the
+    static WCET bound against the cycle-accurate executor.  Returns 0 on
+    success; used by the CI lint tier.
+    """
+    out = out or sys.stdout
+    failures: List[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}{': ' + detail if detail else ''}",
+              file=out)
+        if not ok:
+            failures.append(name)
+
+    # -- pass 1: assembly
+    from repro.hw.asmlib import ROUTINES, link
+    from repro.hw.assembler import assemble
+    from repro.hw.isa import ISAExecutor
+    from repro.hw.soc import SoC, SoCConfig
+    from repro.lint.asm import CALLING_CONVENTION_PARAMS, lint_program, wcet_bound
+
+    for name, source in sorted(ROUTINES.items()):
+        report = lint_program(assemble(source), params=CALLING_CONVENTION_PARAMS)
+        check(f"asm clean: {name}", report.clean,
+              "; ".join(d.rule for d in report) or "no diagnostics")
+
+    bad = assemble("add r3, r4, r5\nbeqz r3, skip\nnop\nskip:\n    nop")
+    report = lint_program(bad)
+    check(
+        "asm flags bad fixture",
+        bool(report.by_rule("ASM001")) and bool(report.by_rule("ASM003")),
+        ",".join(report.rules()),
+    )
+
+    driver = link(
+        """
+        addi r5, r0, 0xABCD
+        brl  r15, popcount32
+        swi  r3, r0, 0x40010000
+        halt
+        """,
+        routines=["popcount32"],
+    )
+    soc = SoC(SoCConfig(n_cpus=1))
+    executor = ISAExecutor(soc.core(0), driver)
+    soc.sim.process(executor.run())
+    soc.sim.run()
+    bound = wcet_bound(driver)
+    check(
+        "asm WCET bound >= measured cycles",
+        bound.bounded and bound.cycles >= executor.cycles,
+        f"bound={bound.cycles} measured={executor.cycles}",
+    )
+
+    # -- pass 2: task sets
+    from repro.analysis.partitioning import partition
+    from repro.analysis.promotion import assign_promotions
+    from repro.core.task import PeriodicTask, TaskSet
+    from repro.lint.tasks import lint_taskset
+
+    toy = TaskSet(
+        [
+            PeriodicTask(name="wheel-speed", wcet=12_000, period=60_000),
+            PeriodicTask(name="abs-monitor", wcet=20_000, period=100_000, deadline=80_000),
+            PeriodicTask(name="engine-poll", wcet=30_000, period=150_000),
+        ]
+    ).with_deadline_monotonic_priorities()
+    toy = assign_promotions(partition(toy, 2), 2, tick=10_000)
+    report = lint_taskset(toy, 2, tick=10_000)
+    check("tasks clean: quickstart set", report.clean,
+          "; ".join(d.rule for d in report) or "no diagnostics")
+
+    overloaded = TaskSet(
+        [
+            PeriodicTask(name="hog-a", wcet=60_000, period=100_000),
+            PeriodicTask(name="hog-b", wcet=60_000, period=100_000),
+        ]
+    ).with_deadline_monotonic_priorities()
+    report = lint_taskset(overloaded, 1)
+    check("tasks flag overload", bool(report.by_rule("TASK002")),
+          ",".join(report.rules()))
+
+    # -- pass 3: traces
+    from repro.lint.concurrency import lint_trace
+    from repro.trace.recorder import TraceRecorder
+
+    racy = TraceRecorder()
+    racy.record(10, "access", cpu=0, info="addr=0x40010000 op=write")
+    racy.record(20, "access", cpu=1, info="addr=0x40010000 op=write")
+    report = lint_trace(racy)
+    check("trace flags race", bool(report.by_rule("RACE001")),
+          ",".join(report.rules()))
+
+    deadlock = TraceRecorder()
+    deadlock.record(0, "acquire", cpu=0, info="lock=0")
+    deadlock.record(1, "acquire", cpu=0, info="lock=1")
+    deadlock.record(2, "release", cpu=0, info="lock=1")
+    deadlock.record(3, "release", cpu=0, info="lock=0")
+    deadlock.record(4, "acquire", cpu=1, info="lock=1")
+    deadlock.record(5, "acquire", cpu=1, info="lock=0")
+    deadlock.record(6, "release", cpu=1, info="lock=0")
+    deadlock.record(7, "release", cpu=1, info="lock=1")
+    report = lint_trace(deadlock)
+    check("trace flags lock-order cycle", bool(report.by_rule("DEAD001")),
+          ",".join(report.rules()))
+
+    clean = TraceRecorder()
+    for time, cpu in ((0, 0), (10, 1)):
+        clean.record(time, "acquire", cpu=cpu, info="lock=0")
+        clean.record(time + 2, "access", cpu=cpu, info="addr=0x40010000 op=write")
+        clean.record(time + 4, "release", cpu=cpu, info="lock=0")
+    report = lint_trace(clean)
+    check("trace clean: guarded accesses", report.clean,
+          "; ".join(d.rule for d in report) or "no diagnostics")
+
+    print(
+        f"self-check: {'PASS' if not failures else 'FAIL'} "
+        f"({len(failures)} failure(s))",
+        file=out,
+    )
+    return 0 if not failures else 1
+
+
+# ----------------------------------------------------------------------- main
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static analysis: assembly CFG/dataflow/WCET, task-set "
+        "schedulability, trace race/deadlock detection",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="smoke-run all three passes on built-in fixtures and exit",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    asm = commands.add_parser("asm", help="lint an assembly source file")
+    asm.add_argument("file")
+    asm.add_argument("--entry", default=None, help="entry label (default: first instruction)")
+    asm.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        help="register defined at entry (repeatable), e.g. --param r5",
+    )
+    asm.add_argument("--text-base", type=lambda v: int(v, 0), default=0x4000_0000)
+    asm.add_argument("--wcet", action="store_true", help="also compute the WCET bound")
+    asm.add_argument(
+        "--loop-bound",
+        action="append",
+        default=[],
+        metavar="LABEL=N",
+        help="max iterations of the loop headed at LABEL (repeatable)",
+    )
+    asm.set_defaults(func=_cmd_asm)
+
+    tasks = commands.add_parser("tasks", help="lint a task table CSV")
+    tasks.add_argument("file", help="CSV: name,wcet,period[,deadline]")
+    tasks.add_argument("--cpus", type=int, default=2)
+    tasks.add_argument(
+        "--heuristic", default="worst-fit", choices=["first-fit", "best-fit", "worst-fit"]
+    )
+    tasks.add_argument("--tick", type=int, default=None)
+    tasks.set_defaults(func=_cmd_tasks)
+
+    trace = commands.add_parser("trace", help="lint a JSON trace for races/deadlocks")
+    trace.add_argument("file", help="trace JSON (repro.trace.export.trace_to_json)")
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.self_check:
+        return self_check()
+    if not getattr(args, "command", None):
+        parser.print_help(sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

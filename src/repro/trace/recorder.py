@@ -16,7 +16,14 @@ kind            meaning
 ``irq``         interrupt delivered to a cpu
 ``switch``      context switch performed on a cpu
 ``idle``        cpu went idle
+``acquire``     sync-engine lock granted (info ``lock=N``)
+``release``     sync-engine lock released (info ``lock=N``)
+``barrier``     barrier arrival (info ``barrier=N width=W``)
+``access``      shared-memory access (info ``addr=0x.. op=read|write``)
 ==============  =============================================
+
+The last four form the concurrency vocabulary consumed by the
+race/deadlock checker in :mod:`repro.lint.concurrency`.
 """
 
 from __future__ import annotations
@@ -53,6 +60,10 @@ KINDS = {
     "irq",
     "switch",
     "idle",
+    "acquire",
+    "release",
+    "barrier",
+    "access",
 }
 
 

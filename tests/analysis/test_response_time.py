@@ -127,3 +127,30 @@ def test_wcrt_fixpoint_property(data):
             math.ceil(result.value / other.period) * other.wcet for other in hp
         )
         assert expected == result.value
+
+
+class TestDivergenceGuard:
+    def test_guard_raises_clear_diagnostic(self):
+        """At utilization >= 1 with a huge limit, the recurrence must not
+        spin: the max_iterations guard raises RecurrenceDivergenceError
+        naming the interferer utilization."""
+        from repro.analysis.response_time import RecurrenceDivergenceError
+
+        hog = task("hog", 1, 1, high=5)
+        with pytest.raises(RecurrenceDivergenceError) as excinfo:
+            busy_period_recurrence(1, [hog], limit=10**12, max_iterations=50)
+        message = str(excinfo.value)
+        assert "50 iterations" in message
+        assert "utilization" in message
+
+    def test_guard_not_triggered_by_convergent_sets(self):
+        hp = task("hp", 20, 50, high=2)
+        result = busy_period_recurrence(30, [hp], limit=200, max_iterations=10)
+        assert result.schedulable and result.wcrt == 50
+
+    def test_limit_exceeded_still_reports_unschedulable(self):
+        """A diverging recurrence with a tight limit is 'unschedulable',
+        not an exception -- the guard only fires past max_iterations."""
+        hog = task("hog", 1, 1, high=5)
+        result = busy_period_recurrence(1, [hog], limit=100)
+        assert not result.schedulable

@@ -1,0 +1,98 @@
+"""Negative-path assembler tests: every rejection names the offending
+line and, where possible, suggests the fix."""
+
+import pytest
+
+from repro.hw.assembler import AssemblerError, assemble
+
+
+def error_of(source):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(source)
+    return str(excinfo.value)
+
+
+class TestLabelErrors:
+    def test_duplicate_label_reports_both_lines(self):
+        message = error_of("start:\n    nop\nstart:\n    halt")
+        assert "line 3" in message
+        assert "first defined on line 1" in message
+
+    def test_duplicate_across_sections(self):
+        message = error_of(
+            ".data 0x40010000\nbuf: .word 0\n.text\nbuf:\n    halt"
+        )
+        assert "duplicate label 'buf'" in message
+
+    def test_undefined_branch_label(self):
+        message = error_of("    br nowhere\n    halt")
+        assert "undefined code label 'nowhere'" in message
+
+    def test_undefined_label_suggests_close_match(self):
+        message = error_of("looop:\n    br loop\n    halt")
+        assert "did you mean 'looop'?" in message
+
+    def test_undefined_immediate_label_suggests_data_label(self):
+        message = error_of(
+            ".data 0x40010000\ntable: .word 1\n.text\n    lwi r3, r0, tabel\n    halt"
+        )
+        assert "did you mean 'table'?" in message
+
+    def test_branch_to_data_label_is_distinguished(self):
+        message = error_of(
+            ".data 0x40010000\nbuf: .word 0\n.text\n    br buf\n    halt"
+        )
+        assert "data" in message and "not code" in message
+        assert "defined on line 2" in message
+
+
+class TestOperandErrors:
+    def test_unknown_opcode(self):
+        assert "unknown opcode 'frob'" in error_of("frob r1, r2")
+
+    def test_bad_register_name(self):
+        assert "expected register" in error_of("addi x3, r0, 1\nhalt")
+
+    def test_register_out_of_range(self):
+        assert "out of range" in error_of("addi r32, r0, 1\nhalt")
+
+    def test_wrong_operand_count(self):
+        assert "needs 3 registers" in error_of("add r1, r2\nhalt")
+
+    def test_nullary_op_rejects_operands(self):
+        assert "takes no operands" in error_of("halt r1")
+
+    def test_bad_integer_literal(self):
+        assert "bad integer" in error_of("addi r3, r0, 0xZZ\nhalt")
+
+
+class TestSectionErrors:
+    def test_word_outside_data(self):
+        assert ".word outside .data" in error_of(".word 1 2 3")
+
+    def test_space_outside_data(self):
+        assert ".space outside .data" in error_of(".space 4")
+
+    def test_first_data_needs_address(self):
+        assert "first .data needs an address" in error_of(".data\nx: .word 1")
+
+    def test_instruction_in_data_section(self):
+        assert "instruction in .data section" in error_of(
+            ".data 0x40010000\n    addi r3, r0, 1"
+        )
+
+    def test_second_data_section_keeps_cursor(self):
+        # A later bare .data resumes at the running cursor; only the
+        # first one needs an address.
+        program = assemble(
+            ".data 0x40010000\na: .word 1\n.text\n    halt\n.data\nb: .word 2"
+        )
+        assert program.symbols["b"] == 0x40010004
+
+
+class TestSourceLineMap:
+    def test_program_lines_map_back_to_source(self):
+        program = assemble(
+            "# comment\n\nstart:\n    addi r3, r0, 1\n    halt"
+        )
+        assert program.lines == [4, 5]

@@ -1,0 +1,118 @@
+"""The repro-lint command line front end and its self-check smoke mode."""
+
+import io
+
+import pytest
+
+from repro.lint.cli import main, self_check
+from repro.trace.export import trace_to_json
+from repro.trace.recorder import TraceRecorder
+
+pytestmark = pytest.mark.lint
+
+GOOD_ASM = """
+    addi r3, r0, 5
+loop:
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+
+BAD_ASM = "add r3, r4, r5\nhalt"
+
+GOOD_CSV = "name,wcet,period,deadline\na,10,100,\nb,5,50,40\n"
+BAD_CSV = "name,wcet,period,deadline\na,0,100,\na,5,50,\n"
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content)
+    return str(path)
+
+
+class TestSelfCheck:
+    def test_self_check_passes(self):
+        out = io.StringIO()
+        assert self_check(out=out) == 0
+        assert "self-check: PASS" in out.getvalue()
+
+    def test_main_flag(self, capsys):
+        assert main(["--self-check"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestAsmCommand:
+    def test_clean_file(self, tmp_path, capsys):
+        assert main(["asm", write(tmp_path, "good.s", GOOD_ASM)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_file_fails(self, tmp_path, capsys):
+        assert main(["asm", write(tmp_path, "bad.s", BAD_ASM)]) == 1
+        assert "ASM001" in capsys.readouterr().out
+
+    def test_syntax_error_is_asm000(self, tmp_path, capsys):
+        assert main(["asm", write(tmp_path, "syn.s", "bogus r1")]) == 1
+        assert "ASM000" in capsys.readouterr().err
+
+    def test_params_silence_argument_reads(self, tmp_path):
+        path = write(tmp_path, "p.s", BAD_ASM)
+        assert main(["asm", path, "--param", "r4", "--param", "r5"]) == 0
+
+    def test_wcet_with_bound(self, tmp_path, capsys):
+        path = write(tmp_path, "loop.s", GOOD_ASM)
+        assert main(["asm", path, "--wcet", "--loop-bound", "loop=5"]) == 0
+        assert "static WCET bound:" in capsys.readouterr().out
+
+    def test_wcet_missing_bound_fails(self, tmp_path, capsys):
+        path = write(tmp_path, "loop.s", GOOD_ASM)
+        assert main(["asm", path, "--wcet"]) == 1
+        assert "unbounded" in capsys.readouterr().out
+
+
+class TestTasksCommand:
+    def test_clean_table(self, tmp_path, capsys):
+        assert main(["tasks", write(tmp_path, "ok.csv", GOOD_CSV), "--cpus", "2"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_rows_fail(self, tmp_path, capsys):
+        assert main(["tasks", write(tmp_path, "bad.csv", BAD_CSV), "--cpus", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "TASK001" in out and "TASK009" in out
+
+    def test_overload_fails(self, tmp_path, capsys):
+        csv = "a,60,100,\nb,60,100,\n"
+        assert main(["tasks", write(tmp_path, "hot.csv", csv), "--cpus", "1"]) == 1
+        assert "TASK002" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_racy_trace_fails(self, tmp_path, capsys):
+        trace = TraceRecorder()
+        trace.record(10, "access", cpu=0, info="addr=0x40010000 op=write")
+        trace.record(20, "access", cpu=1, info="addr=0x40010000 op=write")
+        path = write(tmp_path, "racy.json", trace_to_json(trace))
+        assert main(["trace", path]) == 1
+        assert "RACE001" in capsys.readouterr().out
+
+    def test_clean_trace(self, tmp_path, capsys):
+        trace = TraceRecorder()
+        trace.record(0, "acquire", cpu=0, info="lock=1")
+        trace.record(1, "access", cpu=0, info="addr=0x40010000 op=write")
+        trace.record(2, "release", cpu=0, info="lock=1")
+        path = write(tmp_path, "ok.json", trace_to_json(trace))
+        assert main(["trace", path]) == 0
+
+
+def test_no_command_prints_help():
+    assert main([]) == 2
+
+
+@pytest.mark.parametrize("command", ["asm", "tasks", "trace"])
+def test_missing_file_is_a_clean_error(command, tmp_path, capsys):
+    assert main([command, str(tmp_path / "missing")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_empty_asm_file_reports_asm005(tmp_path, capsys):
+    assert main(["asm", write(tmp_path, "empty.s", "")]) == 1
+    assert "ASM005" in capsys.readouterr().out
