@@ -1,0 +1,85 @@
+"""Benchmark: the perf tier itself -- serial vs parallel, cold vs warm.
+
+Times representative Figure 4 cells through :func:`figure4_sweep`
+serially and with a worker pool, then cold and warm through the run
+cache, and writes ``BENCH_perf.json`` -- the artefact that seeds the
+repo's performance trajectory.  On a multi-core host the parallel
+sweep should approach ``min(workers, cells)`` times the serial
+throughput; on any host the warm cache run must be orders of
+magnitude faster and bit-for-bit identical.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    bench_cache,
+    bench_engine,
+    bench_figure4,
+    run_benchmarks,
+)
+from repro.perf.executor import default_workers
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.mark.paper
+def test_engine_throughput(benchmark, report):
+    result = benchmark.pedantic(bench_engine, rounds=1, iterations=1)
+    report.append(
+        f"[Perf] engine: {result['events']} events in {result['elapsed_s']} s "
+        f"({result['events_per_s']} events/s)"
+    )
+    assert result["events_per_s"] > 10_000
+
+
+@pytest.mark.paper
+def test_parallel_figure4_speedup(benchmark, report):
+    workers = min(4, default_workers())
+    result = benchmark.pedantic(
+        bench_figure4, kwargs={"workers": workers}, rounds=1, iterations=1
+    )
+    report.append(
+        f"[Perf] figure4 x{result['cells']}: serial {result['serial_s']} s, "
+        f"parallel[{result['workers']}] {result['parallel_s']} s "
+        f"(speedup {result['speedup']}x)"
+    )
+    assert result["identical"], "parallel cells differ from serial"
+    if default_workers() >= 4:
+        # The acceptance bar on a multi-core host: >= 2x with 4 workers.
+        assert result["speedup"] >= 2.0
+
+
+@pytest.mark.paper
+def test_warm_cache_skips_recompute(benchmark, report):
+    result = benchmark.pedantic(bench_cache, rounds=1, iterations=1)
+    report.append(
+        f"[Perf] cache x{result['cells']}: cold {result['cold_s']} s, "
+        f"warm {result['warm_s']} s ({result['hit_rate']:.0%} hits, "
+        f"warm speedup {result['warm_speedup']}x)"
+    )
+    assert result["identical"], "cached cells differ from computed"
+    # An unchanged sweep must be served ~entirely from the cache.
+    assert result["hits"] == result["cells"]
+    assert result["warm_speedup"] > 10
+
+
+@pytest.mark.paper
+def test_bench_perf_json_emitted(benchmark, report, tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    results = benchmark.pedantic(
+        run_benchmarks,
+        kwargs={"out": str(out), "quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    payload = json.loads(out.read_text())
+    assert payload["figure4"]["identical"] and payload["cache"]["identical"]
+    report.append(
+        f"[Perf] BENCH_perf.json: engine {payload['engine']['events_per_s']} ev/s, "
+        f"figure4 speedup {payload['figure4']['speedup']}x "
+        f"({payload['figure4']['workers']} workers), "
+        f"cache warm speedup {payload['cache']['warm_speedup']}x"
+    )
+    assert results["version"] == payload["version"]

@@ -31,6 +31,7 @@ __all__ = [
     "TaskSet",
     "MPDPScheduler",
     "CLOCK_HZ",
+    "TICK",
     "cycles_to_seconds",
     "seconds_to_cycles",
     "__version__",
@@ -38,6 +39,9 @@ __all__ = [
 
 #: The prototype clock frequency (Virtex-II PRO, 50 MHz).
 CLOCK_HZ = 50_000_000
+
+#: The paper's scheduling tick: 0.1 s at the 50 MHz prototype clock.
+TICK = 5_000_000
 
 
 def cycles_to_seconds(cycles: int, clock_hz: int = CLOCK_HZ) -> float:

@@ -20,10 +20,13 @@ observations, which this module regenerates:
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+import functools
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import CLOCK_HZ, cycles_to_seconds
+from repro import CLOCK_HZ, TICK, cycles_to_seconds
+from repro.perf.cache import RunCache, cache_key, taskset_rows
+from repro.perf.executor import pmap
 from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
 from repro.simulators.theoretical import TheoreticalSimulator
 from repro.trace.metrics import compute_metrics
@@ -33,9 +36,6 @@ from repro.workloads.automotive import (
     build_automotive_taskset,
     prepare_taskset,
 )
-
-#: The paper's scheduling tick: 0.1 s at 50 MHz.
-TICK = 5_000_000
 
 #: The paper's slowdown matrix (real vs theoretical), (n_cpus, util) -> %.
 PAPER_SLOWDOWNS: Dict[Tuple[int, float], float] = {
@@ -139,17 +139,67 @@ def run_cell(
     )
 
 
+def _cell_key(n_cpus: int, utilization: float, scale: int) -> str:
+    """Content hash of everything a Figure 4 cell's result depends on."""
+    taskset = prepare_taskset(
+        build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
+    )
+    return cache_key(
+        kind="figure4-cell",
+        taskset=taskset_rows(taskset),
+        n_cpus=n_cpus,
+        utilization=utilization,
+        scale=scale,
+        tick=TICK,
+        arrival_phases_s=list(ARRIVAL_PHASES_S),
+        horizon_margin_s=25.0,
+    )
+
+
+def _run_cell_point(point: Tuple[int, float], scale: int) -> Figure4Cell:
+    """Picklable per-cell worker body for the parallel sweep."""
+    n_cpus, utilization = point
+    return run_cell(n_cpus, utilization, scale=scale)
+
+
 def figure4_sweep(
     cpus: Sequence[int] = (2, 3, 4),
     utilizations: Sequence[float] = (0.40, 0.50, 0.60),
     scale: int = 1_000,
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> List[Figure4Cell]:
-    """The full Figure 4 grid."""
-    return [
-        run_cell(n_cpus, utilization, scale=scale)
-        for n_cpus in cpus
-        for utilization in utilizations
-    ]
+    """The full Figure 4 grid.
+
+    Cells are independent simulations, so with ``max_workers > 1``
+    they run across worker processes; results are reassembled in grid
+    order and are bit-for-bit identical to a serial sweep.  With a
+    ``cache``, previously-computed cells (keyed by task-set content,
+    configuration and package version) are loaded instead of re-run.
+    """
+    points = [(n_cpus, u) for n_cpus in cpus for u in utilizations]
+    cells: List[Optional[Figure4Cell]] = [None] * len(points)
+    pending = list(range(len(points)))
+    keys: List[Optional[str]] = [None] * len(points)
+    if cache is not None:
+        pending = []
+        for index, (n_cpus, utilization) in enumerate(points):
+            keys[index] = _cell_key(n_cpus, utilization, scale)
+            hit, value = cache.lookup(keys[index])
+            if hit:
+                cells[index] = Figure4Cell(**value)
+            else:
+                pending.append(index)
+    computed = pmap(
+        functools.partial(_run_cell_point, scale=scale),
+        [points[i] for i in pending],
+        max_workers=max_workers,
+    )
+    for index, cell in zip(pending, computed):
+        cells[index] = cell
+        if cache is not None:
+            cache.put(keys[index], asdict(cell))
+    return cells
 
 
 def slowdown_table(cells: Sequence[Figure4Cell]) -> str:
@@ -175,14 +225,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--utilizations", type=float, nargs="+", default=[0.40, 0.50, 0.60]
     )
     parser.add_argument("--scale", type=int, default=1_000)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed run cache directory")
     args = parser.parse_args(argv)
 
-    cells = figure4_sweep(args.cpus, args.utilizations, scale=args.scale)
+    cache = RunCache(args.cache) if args.cache else None
+    cells = figure4_sweep(args.cpus, args.utilizations, scale=args.scale,
+                          max_workers=args.workers, cache=cache)
     print("Figure 4 -- aperiodic (susan/large) response time")
     print(f"standalone execution: {APERIODIC_STANDALONE_S} s; paper's")
     print(f"theoretical worst case with switching: {APERIODIC_THEORETICAL_WORST_S} s")
     print()
     print(slowdown_table(cells))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"\ncache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+              f"({stats['hit_rate']:.0%} hit rate) in {stats['root']}")
     return 0
 
 

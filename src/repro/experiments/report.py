@@ -12,6 +12,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import TICK
 from repro.analysis.promotion import promotion_table
 from repro.experiments.figure3 import (
     narrative_checks_a,
@@ -30,10 +31,8 @@ from repro.experiments.tables import (
 )
 from repro.workloads.automotive import build_automotive_taskset, prepare_taskset
 
-TICK = 5_000_000
 
-
-def build_report(quick: bool = False) -> str:
+def build_report(quick: bool = False, max_workers: int = 1) -> str:
     """Assemble the full report as markdown."""
     lines: List[str] = [
         "# Reproduction report",
@@ -71,7 +70,7 @@ def build_report(quick: bool = False) -> str:
     lines.append("")
     cpus = (2,) if quick else (2, 3, 4)
     utils = (0.5,) if quick else (0.40, 0.50, 0.60)
-    cells = figure4_sweep(cpus, utils)
+    cells = figure4_sweep(cpus, utils, max_workers=max_workers)
     measured = {
         (cell.n_cpus, round(cell.utilization, 2)): cell.slowdown_pct
         for cell in cells
@@ -97,8 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="output file ('-' = stdout)")
     parser.add_argument("--quick", action="store_true",
                         help="single Figure 4 cell instead of the full grid")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the Figure 4 sweep (0 = one per CPU)")
     args = parser.parse_args(argv)
-    text = build_report(quick=args.quick)
+    text = build_report(quick=args.quick, max_workers=args.workers)
     if args.output == "-":
         sys.stdout.write(text)
     else:

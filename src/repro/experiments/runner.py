@@ -10,16 +10,19 @@ timeout, bus-traffic intensity, scheduler baselines).
 from __future__ import annotations
 
 import csv
+import functools
 import io
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro import CLOCK_HZ, cycles_to_seconds
+from repro import CLOCK_HZ, TICK, cycles_to_seconds
 from repro.hw.microblaze import ExecutionProfile
 from repro.kernel.costs import KernelCosts
 from repro.kernel.microkernel import TaskBinding
 from repro.lint.tasks import check_taskset
+from repro.perf.cache import RunCache, cache_key
+from repro.perf.executor import pmap
 from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
 from repro.trace.metrics import compute_metrics
 from repro.workloads.automotive import (
@@ -28,8 +31,6 @@ from repro.workloads.automotive import (
     build_automotive_taskset,
     prepare_taskset,
 )
-
-TICK = 5_000_000
 
 
 @dataclass
@@ -42,8 +43,16 @@ class SweepResult:
     def to_csv(self) -> str:
         if not self.rows:
             return ""
+        # Union of keys across all rows, first-seen order: ragged
+        # sweeps (a column only some measure calls report) must not
+        # blow up DictWriter.
+        fieldnames: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(self.rows[0].keys()))
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(self.rows)
         return buffer.getvalue()
@@ -51,14 +60,20 @@ class SweepResult:
     def format(self) -> str:
         if not self.rows:
             return "(empty sweep)"
-        keys = list(self.rows[0].keys())
+        keys: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
         widths = {
-            k: max(len(k), max(len(self._cell(r[k])) for r in self.rows))
+            k: max(len(k), max(len(self._cell(r.get(k, ""))) for r in self.rows))
             for k in keys
         }
         lines = ["  ".join(k.ljust(widths[k]) for k in keys)]
         for row in self.rows:
-            lines.append("  ".join(self._cell(row[k]).ljust(widths[k]) for k in keys))
+            lines.append(
+                "  ".join(self._cell(row.get(k, "")).ljust(widths[k]) for k in keys)
+            )
         return "\n".join(lines)
 
     @staticmethod
@@ -71,24 +86,96 @@ class SweepResult:
         return [row[key] for row in self.rows]
 
 
+def _eval_point(measure: Callable[..., Mapping[str, Any]], point: Dict[str, Any]) -> Dict[str, Any]:
+    """One sweep cell: parameters first, then the measured columns."""
+    row = dict(point)
+    row.update(measure(**point))
+    return row
+
+
+def _measure_tag(measure: Callable) -> str:
+    """A stable cache tag for a measure callable (never a repr with an
+    object address, which would defeat cross-run caching)."""
+    tag = getattr(measure, "__qualname__", None)
+    if tag is None and isinstance(measure, functools.partial):
+        tag = getattr(measure.func, "__qualname__", None)
+    return tag or f"measure:{getattr(measure, '__module__', '?')}"
+
+
 def sweep(
     measure: Callable[..., Mapping[str, Any]],
     grid: Mapping[str, Sequence[Any]],
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
+    cache_tag: Optional[str] = None,
 ) -> SweepResult:
     """Run ``measure(**point)`` over the cartesian product of ``grid``.
 
     ``measure`` returns a mapping of result columns; the sweep prepends
-    the parameter values to every row.
+    the parameter values to every row.  Cells are independent, so with
+    ``max_workers > 1`` they are fanned out over worker processes (when
+    ``measure`` is picklable; closures silently run serially) with
+    results reassembled in grid order -- identical to a serial run.
+
+    With a ``cache``, each cell is keyed by (tag, point, package
+    version) and only missing cells are computed.  ``cache_tag``
+    defaults to the measure's qualified name; pass an explicit tag if
+    the measure's behaviour depends on state the point does not encode.
     """
     names = list(grid.keys())
+    points = [
+        dict(zip(names, values))
+        for values in itertools.product(*(grid[name] for name in names))
+    ]
     result = SweepResult(parameters=names)
-    for values in itertools.product(*(grid[name] for name in names)):
-        point = dict(zip(names, values))
-        outcome = measure(**point)
-        row = dict(point)
-        row.update(outcome)
-        result.rows.append(row)
+    result.rows.extend(
+        _cached_pmap(
+            functools.partial(_eval_point, measure),
+            points,
+            max_workers=max_workers,
+            cache=cache,
+            keys=None if cache is None else [
+                cache_key(
+                    kind="sweep",
+                    tag=cache_tag or _measure_tag(measure),
+                    point=point,
+                )
+                for point in points
+            ],
+        )
+    )
     return result
+
+
+def _cached_pmap(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
+    keys: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """:func:`pmap` with a content-addressed cache in front.
+
+    Cache hits are taken as-is; only misses are computed (in parallel
+    when requested) and stored; the combined results come back in item
+    order, so cached and fresh runs interleave transparently.
+    """
+    if cache is None:
+        return pmap(fn, items, max_workers=max_workers)
+    assert keys is not None and len(keys) == len(items)
+    results: List[Any] = [None] * len(items)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        hit, value = cache.lookup(key)
+        if hit:
+            results[index] = value
+        else:
+            pending.append(index)
+    computed = pmap(fn, [items[i] for i in pending], max_workers=max_workers)
+    for index, value in zip(pending, computed):
+        cache.put(keys[index], value)
+        results[index] = value
+    return results
 
 
 # --------------------------------------------------------------- measurements
@@ -134,7 +221,10 @@ def prototype_response_s(
 
 
 # ------------------------------------------------------------------ ablations
-def context_cost_sweep(multipliers: Sequence[int] = (1, 10, 100, 1000)) -> SweepResult:
+def context_cost_sweep(
+    multipliers: Sequence[int] = (1, 10, 100, 1000),
+    cache: Optional[RunCache] = None,
+) -> SweepResult:
     """Response vs context-switch cost (primitive + regfile scaled)."""
 
     def measure(multiplier: int) -> Dict[str, Any]:
@@ -145,11 +235,13 @@ def context_cost_sweep(multipliers: Sequence[int] = (1, 10, 100, 1000)) -> Sweep
         )
         return prototype_response_s(costs=costs)
 
-    return sweep(measure, {"multiplier": list(multipliers)})
+    return sweep(measure, {"multiplier": list(multipliers)},
+                 cache=cache, cache_tag="context_cost_sweep")
 
 
 def traffic_intensity_sweep(
-    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    cache: Optional[RunCache] = None,
 ) -> SweepResult:
     """Response vs shared-memory traffic density (x the characterised
     profiles; 1.0 = calibrated)."""
@@ -165,26 +257,36 @@ def traffic_intensity_sweep(
             )
         return prototype_response_s(bindings=bindings)
 
-    return sweep(measure, {"traffic": list(scales)})
+    return sweep(measure, {"traffic": list(scales)},
+                 cache=cache, cache_tag="traffic_intensity_sweep")
 
 
 def processor_scaling_sweep(
-    cpus: Sequence[int] = (2, 3, 4), utilization: float = 0.5
+    cpus: Sequence[int] = (2, 3, 4),
+    utilization: float = 0.5,
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> SweepResult:
     """Response vs processor count at fixed per-cpu utilization."""
+    measure = functools.partial(_scaling_measure, utilization=utilization)
+    return sweep(measure, {"n_cpus": list(cpus)}, max_workers=max_workers,
+                 cache=cache, cache_tag="processor_scaling_sweep")
 
-    def measure(n_cpus: int) -> Dict[str, Any]:
-        return prototype_response_s(n_cpus=n_cpus, utilization=utilization)
 
-    return sweep(measure, {"n_cpus": list(cpus)})
+def _scaling_measure(n_cpus: int, utilization: float) -> Dict[str, Any]:
+    return prototype_response_s(n_cpus=n_cpus, utilization=utilization)
 
 
 def mpic_timeout_sweep(
-    timeouts: Sequence[int] = (50, 500, 5_000, 50_000)
+    timeouts: Sequence[int] = (50, 500, 5_000, 50_000),
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> SweepResult:
     """Response vs the MPIC acknowledge timeout (re-routing window)."""
+    return sweep(_mpic_measure, {"ack_timeout": list(timeouts)},
+                 max_workers=max_workers,
+                 cache=cache, cache_tag="mpic_timeout_sweep")
 
-    def measure(ack_timeout: int) -> Dict[str, Any]:
-        return prototype_response_s(mpic_ack_timeout=ack_timeout)
 
-    return sweep(measure, {"ack_timeout": list(timeouts)})
+def _mpic_measure(ack_timeout: int) -> Dict[str, Any]:
+    return prototype_response_s(mpic_ack_timeout=ack_timeout)

@@ -94,6 +94,32 @@ OPCODES: Dict[str, str] = {
 #: Extra cycles paid when a branch is taken (pipeline refill).
 BRANCH_PENALTY = 2
 
+#: ALU semantics, one callable per op (shared by the register and
+#: immediate forms; ``<op>i`` uses the same entry as ``<op>``).
+_ALU_FUNCS = {
+    "add": lambda a, b: (a + b) & MASK32,
+    "sub": lambda a, b: (a - b) & MASK32,
+    "rsub": lambda a, b: (b - a) & MASK32,
+    "mul": lambda a, b: (a * b) & MASK32,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: (a << (b & 31)) & MASK32,
+    "srl": lambda a, b: (a & MASK32) >> (b & 31),
+    "sra": lambda a, b: (_signed(a) >> (b & 31)) & MASK32,
+    "cmp": lambda a, b: (_signed(b) - _signed(a)) & MASK32,
+}
+
+#: Branch-taken predicates over the signed register value.
+_BRANCH_TESTS = {
+    "beqz": lambda v: v == 0,
+    "bnez": lambda v: v != 0,
+    "bltz": lambda v: v < 0,
+    "blez": lambda v: v <= 0,
+    "bgtz": lambda v: v > 0,
+    "bgez": lambda v: v >= 0,
+}
+
 
 class ISAError(Exception):
     """Decode or execution fault."""
@@ -221,6 +247,57 @@ class ISAExecutor:
         self.cycles += self.core.sim.now - start
 
     # ---------------------------------------------------------------- execution
+    # Opcode handlers.  Each returns the branch target (an instruction
+    # index) for a *taken* control transfer, or None to fall through to
+    # pc+1.  Memory handlers are generators and are flagged as such in
+    # the dispatch table so the main loop only pays generator setup for
+    # ops that actually touch the memory system.
+    def _exec_nop(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
+        return None
+
+    def _exec_halt(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
+        state.halted = True
+        return None
+
+    def _exec_alu(self, state: CPUState, instr: Instruction, func) -> Optional[int]:
+        state.write(instr.rd, func(state.read(instr.ra), state.read(instr.rb)))
+        return None
+
+    def _exec_alui(self, state: CPUState, instr: Instruction, func) -> Optional[int]:
+        state.write(instr.rd, func(state.read(instr.ra), instr.imm & MASK32))
+        return None
+
+    def _exec_load(self, state: CPUState, instr: Instruction, use_imm):
+        offset = instr.imm if use_imm else state.read(instr.rb)
+        addr = (state.read(instr.ra) + offset) & MASK32
+        value = yield from self._data_access(addr)
+        state.write(instr.rd, value)
+        return None
+
+    def _exec_store(self, state: CPUState, instr: Instruction, use_imm):
+        offset = instr.imm if use_imm else state.read(instr.rb)
+        addr = (state.read(instr.ra) + offset) & MASK32
+        yield from self._data_access(addr, value=state.read(instr.rd))
+        return None
+
+    def _exec_branch(self, state: CPUState, instr: Instruction, test) -> Optional[int]:
+        return instr.imm if test(_signed(state.read(instr.rd))) else None
+
+    def _exec_br(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
+        return instr.imm
+
+    def _exec_brl(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
+        state.write(instr.rd, state.pc + 1)
+        return instr.imm
+
+    def _exec_jr(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
+        return state.read(instr.rd)
+
+    #: op -> (handler, is_generator, payload); precomputed once at
+    #: import (see _build_dispatch below) instead of a per-instruction
+    #: string elif chain.
+    _DISPATCH: Dict[str, Tuple] = {}
+
     def run(self, max_instructions: int = 1_000_000):
         """Generator: execute until halt or the instruction budget ends.
 
@@ -228,95 +305,68 @@ class ISAExecutor:
         """
         state = self.state
         program = self.program
+        instructions = program.instructions
+        dispatch = self._DISPATCH
+        timeout = self.core.sim.timeout
         while not state.halted:
             if state.instructions_retired >= max_instructions:
                 raise ISAError(
                     f"instruction budget {max_instructions} exhausted at pc={state.pc}"
                 )
-            if not 0 <= state.pc < len(program.instructions):
+            if not 0 <= state.pc < len(instructions):
                 raise ISAError(f"pc {state.pc} outside program")
             yield from self._fetch(state.pc)
-            instr = program.instructions[state.pc]
-            yield self.core.sim.timeout(1)
+            instr = instructions[state.pc]
+            yield timeout(1)
             self.cycles += 1
             state.instructions_retired += 1
-            next_pc = state.pc + 1
-            taken = False
 
-            op = instr.op
-            if op == "nop":
-                pass
-            elif op == "halt":
-                state.halted = True
-            elif op in ("add", "sub", "rsub", "mul", "and", "or", "xor", "sll", "srl", "sra", "cmp"):
-                a, b = state.read(instr.ra), state.read(instr.rb)
-                state.write(instr.rd, self._alu(op, a, b))
-            elif op in ("addi", "subi", "muli", "andi", "ori", "xori", "slli", "srli", "srai"):
-                a = state.read(instr.ra)
-                state.write(instr.rd, self._alu(op.rstrip("i"), a, instr.imm & MASK32))
-            elif op in ("lw", "lwi"):
-                offset = state.read(instr.rb) if op == "lw" else instr.imm
-                addr = (state.read(instr.ra) + offset) & MASK32
-                value = yield from self._data_access(addr)
-                state.write(instr.rd, value)
-            elif op in ("sw", "swi"):
-                offset = state.read(instr.rb) if op == "sw" else instr.imm
-                addr = (state.read(instr.ra) + offset) & MASK32
-                yield from self._data_access(addr, value=state.read(instr.rd))
-            elif op in ("beqz", "bnez", "bltz", "blez", "bgtz", "bgez"):
-                value = _signed(state.read(instr.rd))
-                taken = {
-                    "beqz": value == 0,
-                    "bnez": value != 0,
-                    "bltz": value < 0,
-                    "blez": value <= 0,
-                    "bgtz": value > 0,
-                    "bgez": value >= 0,
-                }[op]
-                if taken:
-                    next_pc = instr.imm
-            elif op == "br":
-                taken = True
-                next_pc = instr.imm
-            elif op == "brl":
-                state.write(instr.rd, next_pc)
-                taken = True
-                next_pc = instr.imm
-            elif op == "jr":
-                taken = True
-                next_pc = state.read(instr.rd)
-            else:  # pragma: no cover - decoder rejects unknown ops
-                raise ISAError(f"unknown opcode {op}")
+            entry = dispatch.get(instr.op)
+            if entry is None:  # pragma: no cover - decoder rejects unknown ops
+                raise ISAError(f"unknown opcode {instr.op}")
+            handler, is_generator, payload = entry
+            if is_generator:
+                target = yield from handler(self, state, instr, payload)
+            else:
+                target = handler(self, state, instr, payload)
 
-            if taken:
-                yield self.core.sim.timeout(BRANCH_PENALTY)
+            if target is None:
+                state.pc += 1
+            else:  # taken control transfer: pipeline refill
+                yield timeout(BRANCH_PENALTY)
                 self.cycles += BRANCH_PENALTY
-            state.pc = next_pc
+                state.pc = target
         return state
 
     @staticmethod
     def _alu(op: str, a: int, b: int) -> int:
-        if op == "add":
-            return (a + b) & MASK32
-        if op == "sub":
-            return (a - b) & MASK32
-        if op == "rsub":
-            return (b - a) & MASK32
-        if op == "mul":
-            return (a * b) & MASK32
-        if op == "and":
-            return a & b
-        if op == "or":
-            return a | b
-        if op == "xor":
-            return a ^ b
-        if op in ("sll", "sll"):
-            return (a << (b & 31)) & MASK32
-        if op == "srl":
-            return (a & MASK32) >> (b & 31)
-        if op == "sra":
-            return (_signed(a) >> (b & 31)) & MASK32
-        if op == "cmp":
-            diff = _signed(b) - _signed(a)
-            return diff & MASK32
-        raise ISAError(f"unknown ALU op {op}")
+        func = _ALU_FUNCS.get(op)
+        if func is None:
+            raise ISAError(f"unknown ALU op {op}")
+        return func(a, b)
+
+
+def _build_dispatch() -> Dict[str, Tuple]:
+    """Precompute the opcode method table from the semantic tables."""
+    table: Dict[str, Tuple] = {
+        "nop": (ISAExecutor._exec_nop, False, None),
+        "halt": (ISAExecutor._exec_halt, False, None),
+        "lw": (ISAExecutor._exec_load, True, False),
+        "lwi": (ISAExecutor._exec_load, True, True),
+        "sw": (ISAExecutor._exec_store, True, False),
+        "swi": (ISAExecutor._exec_store, True, True),
+        "br": (ISAExecutor._exec_br, False, None),
+        "brl": (ISAExecutor._exec_brl, False, None),
+        "jr": (ISAExecutor._exec_jr, False, None),
+    }
+    for op, func in _ALU_FUNCS.items():
+        if op in OPCODES:
+            table[op] = (ISAExecutor._exec_alu, False, func)
+        if op + "i" in OPCODES:
+            table[op + "i"] = (ISAExecutor._exec_alui, False, func)
+    for op, test in _BRANCH_TESTS.items():
+        table[op] = (ISAExecutor._exec_branch, False, test)
+    return table
+
+
+ISAExecutor._DISPATCH = _build_dispatch()

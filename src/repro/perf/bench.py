@@ -1,0 +1,181 @@
+"""Timing harness: serial vs parallel, cold vs warm cache.
+
+Times representative slices of the evaluation pipeline and emits
+``BENCH_perf.json``, the file that seeds the repo's performance
+trajectory -- every future optimisation PR should move these numbers
+and say so.  Three sections:
+
+- ``engine``: a pure discrete-event micro-benchmark (timeout- and
+  interrupt-heavy processes, no hardware model) reporting sustained
+  queue throughput;
+- ``figure4``: the same Figure 4 cells run serially and with a worker
+  pool, with the speedup and a bit-for-bit equality check;
+- ``cache``: a cold sweep populating a fresh run cache, then the warm
+  re-run, with hit statistics and the warm speedup.
+
+All sections use deterministic workloads, so two runs on the same
+host differ only by timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro import __version__
+from repro.perf.cache import RunCache
+from repro.perf.executor import default_workers
+from repro.sim.engine import Simulator
+from repro.sim.events import Interrupt
+
+#: Default output file name.
+BENCH_FILE = "BENCH_perf.json"
+
+
+# ------------------------------------------------------------------ engine
+def bench_engine(n_processes: int = 300, horizon: int = 3_000) -> Dict[str, Any]:
+    """Sustained event throughput of the discrete-event core.
+
+    Spawns ``n_processes`` workers ticking every few cycles plus one
+    interrupter per eight workers, the mix the kernel model produces
+    (wake-ups dominated by short timeouts with a steady interrupt
+    stream).
+    """
+
+    def ticker(sim: Simulator, period: int):
+        while True:
+            try:
+                yield sim.timeout(period)
+            except Interrupt:
+                pass
+
+    def interrupter(sim: Simulator, victims, period: int):
+        while True:
+            yield sim.timeout(period)
+            for victim in victims:
+                if victim.is_alive:
+                    victim.interrupt("bench")
+
+    sim = Simulator()
+    workers = [sim.process(ticker(sim, 2 + (i % 7))) for i in range(n_processes)]
+    for i in range(0, n_processes, 8):
+        sim.process(interrupter(sim, workers[i:i + 8], 13))
+    started = time.perf_counter()
+    sim.run(until=horizon)
+    elapsed = time.perf_counter() - started
+    events = sim._eid  # total queue entries pushed
+    return {
+        "processes": n_processes,
+        "horizon_cycles": horizon,
+        "events": events,
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(events / elapsed) if elapsed > 0 else None,
+    }
+
+
+# ----------------------------------------------------------------- figure 4
+def bench_figure4(
+    workers: Optional[int] = None,
+    cpus: Sequence[int] = (2,),
+    utilizations: Sequence[float] = (0.40, 0.50, 0.60),
+    scale: int = 1_000,
+) -> Dict[str, Any]:
+    """Serial vs parallel wall clock over the same Figure 4 cells."""
+    from repro.experiments.figure4 import figure4_sweep
+
+    workers = workers or default_workers()
+    started = time.perf_counter()
+    serial_cells = figure4_sweep(cpus, utilizations, scale=scale, max_workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_cells = figure4_sweep(cpus, utilizations, scale=scale,
+                                   max_workers=workers)
+    parallel_s = time.perf_counter() - started
+    return {
+        "cells": len(serial_cells),
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "identical": serial_cells == parallel_cells,
+    }
+
+
+# -------------------------------------------------------------------- cache
+def bench_cache(
+    cpus: Sequence[int] = (2,),
+    utilizations: Sequence[float] = (0.40, 0.50),
+    scale: int = 1_000,
+) -> Dict[str, Any]:
+    """Cold vs warm run-cache wall clock over the same cells."""
+    from repro.experiments.figure4 import figure4_sweep
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as root:
+        cache = RunCache(root)
+        started = time.perf_counter()
+        cold_cells = figure4_sweep(cpus, utilizations, scale=scale, cache=cache)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_cells = figure4_sweep(cpus, utilizations, scale=scale, cache=cache)
+        warm_s = time.perf_counter() - started
+        stats = cache.stats()
+    return {
+        "cells": len(cold_cells),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 4),
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": stats["hit_rate"],
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+        "identical": cold_cells == warm_cells,
+    }
+
+
+# --------------------------------------------------------------------- main
+def run_benchmarks(
+    out: Optional[str] = BENCH_FILE,
+    workers: Optional[int] = None,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """Run every section and (optionally) write ``BENCH_perf.json``."""
+    utilizations = (0.40, 0.50) if quick else (0.40, 0.50, 0.60)
+    results = {
+        "version": __version__,
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "engine": bench_engine(n_processes=100 if quick else 300),
+        "figure4": bench_figure4(workers=workers, utilizations=utilizations),
+        "cache": bench_cache(utilizations=utilizations[:2]),
+    }
+    if out:
+        with open(out, "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+    return results
+
+
+def format_results(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen rendering of a results dict."""
+    engine = results["engine"]
+    fig4 = results["figure4"]
+    cache = results["cache"]
+    return "\n".join([
+        f"repro-perf {results['version']} on {results['host']['cpus']} cpu(s)",
+        f"engine : {engine['events']} events in {engine['elapsed_s']} s "
+        f"({engine['events_per_s']} events/s)",
+        f"figure4: {fig4['cells']} cells  serial {fig4['serial_s']} s  "
+        f"parallel[{fig4['workers']}] {fig4['parallel_s']} s  "
+        f"speedup {fig4['speedup']}x  identical={fig4['identical']}",
+        f"cache  : {cache['cells']} cells  cold {cache['cold_s']} s  "
+        f"warm {cache['warm_s']} s  {cache['hits']} hit(s) "
+        f"({cache['hit_rate']:.0%})  warm speedup {cache['warm_speedup']}x",
+    ])

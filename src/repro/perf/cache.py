@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache *key* is the SHA-256 of a canonical JSON rendering of
+everything that determines a run's outcome: the task-set rows, the
+simulator configuration, the seed / arrival phase, and the package
+version (simulator behaviour may change between releases, so results
+never leak across versions).  Identical inputs hash identically
+across processes and sessions; any change to an input produces a new
+key, which is the entire invalidation story -- stale entries are
+simply never addressed again.
+
+Layout on disk (JSON, one file per entry, fanned out by key prefix)::
+
+    <root>/<key[:2]>/<key>.json    {"key": ..., "value": ...}
+
+Writes go through a temporary file and ``os.replace`` so a crashed
+run never leaves a torn entry.  Values must be JSON-serialisable
+(the experiment rows are plain dict/float/int data).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache root when no directory is given.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-able structure.
+
+    Dicts are key-sorted at serialisation time; dataclasses carry
+    their type name so two configs with coincidentally equal fields
+    do not collide; tuples and lists are equivalent; anything exotic
+    falls back to ``repr``.
+    """
+    if isinstance(obj, dict):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonical(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def cache_key(**parts: Any) -> str:
+    """Stable content hash of keyword parts (package version included).
+
+    ``cache_key(n_cpus=2, seed=0)`` == ``cache_key(seed=0, n_cpus=2)``;
+    any differing part (or a different ``repro`` version) changes the
+    key.
+    """
+    parts.setdefault("version", __version__)
+    payload = json.dumps(canonical(parts), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint(obj: Any) -> str:
+    """Short content hash of an arbitrary structure (e.g. task-set rows)."""
+    payload = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def taskset_rows(taskset) -> Any:
+    """Canonical rows for a :class:`~repro.core.task.TaskSet`.
+
+    Tasks are frozen dataclasses, so :func:`canonical` captures every
+    schedulability-relevant field (WCET, period, deadline, priorities,
+    promotion, placement).
+    """
+    return canonical({
+        "periodic": list(taskset.periodic),
+        "aperiodic": list(taskset.aperiodic),
+    })
+
+
+class RunCache:
+    """On-disk result cache with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache`` under the current directory.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss returns ``(False, None)``."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry["value"]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic replace, last write wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump({"key": key, "value": value}, handle)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+            "entries": len(self),
+            "root": str(self.root),
+        }

@@ -1,0 +1,228 @@
+"""``repro-perf``: the performance-harness front end.
+
+Two modes, mirroring ``repro-lint``::
+
+    repro-perf bench [--out BENCH_perf.json] [--workers N] [--quick]
+    repro-perf --self-check
+
+``bench`` times representative experiment cells serial-vs-parallel and
+cold-vs-warm cache and writes ``BENCH_perf.json`` (see docs/PERF.md
+for how to read it).  ``--self-check`` smoke-runs the executor, the
+run cache, the cached sweep path and the optimized simulation core
+against built-in fixtures in a few seconds -- no long timings -- and
+is part of the CI tier.
+
+Exit status: 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+
+def _square(x: int) -> int:  # module-level: picklable for the pool
+    return x * x
+
+
+def self_check(out=None) -> int:
+    """Smoke-run the perf machinery against built-in fixtures.
+
+    Verifies parallel/serial equivalence, the serial fallback for
+    closures, cache round-trips and hit accounting, the cached sweep
+    path (a warm run must not invoke the measure), and determinism of
+    the optimized event core and ISA dispatch.  Returns 0 on success.
+    """
+    out = out or sys.stdout
+    failures: List[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}{': ' + detail if detail else ''}",
+              file=out)
+        if not ok:
+            failures.append(name)
+
+    # -- executor
+    from repro.perf.executor import chunk_indices, pmap
+
+    items = list(range(23))
+    serial = pmap(_square, items, max_workers=1)
+    stats: dict = {}
+    parallel = pmap(_square, items, max_workers=2, chunksize=4, stats=stats)
+    check("pmap parallel == serial", parallel == serial,
+          f"mode={stats.get('mode')} chunks={stats.get('chunks')}")
+
+    stats = {}
+    closure = pmap(lambda x: x + 1, items, max_workers=2, stats=stats)
+    check("pmap closure falls back serially",
+          closure == [x + 1 for x in items] and stats["mode"] == "serial-unpicklable",
+          f"mode={stats.get('mode')}")
+
+    chunks = chunk_indices(10, 4)
+    check("pmap chunking covers every index",
+          [i for r in chunks for i in r] == list(range(10)),
+          f"{[list(r) for r in chunks]}")
+
+    # -- run cache
+    from repro.perf.cache import RunCache, cache_key
+
+    key_a = cache_key(n_cpus=2, seed=0)
+    key_b = cache_key(seed=0, n_cpus=2)
+    key_c = cache_key(n_cpus=3, seed=0)
+    check("cache key stable under kwarg order", key_a == key_b)
+    check("cache key sensitive to content", key_a != key_c)
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-check-") as root:
+        cache = RunCache(root)
+        hit, _ = cache.lookup(key_a)
+        cache.put(key_a, {"response_s": 10.5, "misses": 0})
+        hit2, value = cache.lookup(key_a)
+        check("cache round-trip",
+              not hit and hit2 and value == {"response_s": 10.5, "misses": 0},
+              f"hits={cache.hits} misses={cache.misses}")
+
+        # -- cached sweep: warm run must not invoke the measure
+        from repro.experiments.runner import sweep
+
+        calls: List[int] = []
+
+        def measure(x: int) -> dict:
+            calls.append(x)
+            return {"y": x * x}
+
+        cold = sweep(measure, {"x": [1, 2, 3]}, cache=cache, cache_tag="self-check")
+        cold_calls = len(calls)
+        warm = sweep(measure, {"x": [1, 2, 3]}, cache=cache, cache_tag="self-check")
+        check("cached sweep: warm run skips the measure",
+              cold_calls == 3 and len(calls) == 3 and warm.rows == cold.rows,
+              f"cold_calls={cold_calls} warm_calls={len(calls) - cold_calls}")
+
+    # -- optimized event core: determinism and slotted events
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event, Interrupt, Timeout
+
+    def interrupt_trace() -> list:
+        sim = Simulator()
+        log: list = []
+
+        def worker(tag: str):
+            for _ in range(20):
+                try:
+                    yield sim.timeout(10)
+                    log.append((sim.now, tag, "tick"))
+                except Interrupt as interrupt:
+                    log.append((sim.now, tag, interrupt.cause))
+
+        victims = [sim.process(worker(t)) for t in "abc"]
+
+        def hammer():
+            while any(v.is_alive for v in victims):
+                yield sim.timeout(7)
+                for victim in victims:
+                    if victim.is_alive:
+                        victim.interrupt("irq")
+
+        sim.process(hammer())
+        sim.run(until=500)
+        return log
+
+    first, second = interrupt_trace(), interrupt_trace()
+    check("event core deterministic under interrupts",
+          first == second and len(first) > 0, f"{len(first)} entries")
+    check("events are slotted (no per-instance __dict__)",
+          not hasattr(Event(Simulator()), "__dict__")
+          and not hasattr(Timeout(Simulator(), 1), "__dict__"))
+
+    # -- ISA dispatch table
+    from repro.hw.assembler import assemble
+    from repro.hw.isa import ISAExecutor
+    from repro.hw.soc import SoC, SoCConfig
+
+    def run_program() -> tuple:
+        soc = SoC(SoCConfig(n_cpus=1))
+        program = assemble(
+            """
+            addi r3, r0, 0
+            addi r4, r0, 10
+            loop:
+                add  r3, r3, r4
+                subi r4, r4, 1
+                bnez r4, loop
+            halt
+            """
+        )
+        executor = ISAExecutor(soc.core(0), program)
+        soc.sim.process(executor.run())
+        soc.sim.run()
+        return executor.state.read(3), executor.cycles
+
+    (value, cycles), (value2, cycles2) = run_program(), run_program()
+    check("ISA dispatch computes 10+9+...+1 = 55",
+          value == 55, f"r3={value}")
+    check("ISA dispatch cycle-deterministic",
+          cycles == cycles2 and cycles > 0, f"cycles={cycles}")
+
+    print(
+        f"self-check: {'PASS' if not failures else 'FAIL'} "
+        f"({len(failures)} failure(s))",
+        file=out,
+    )
+    return 0 if not failures else 1
+
+
+# ----------------------------------------------------------------------- main
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import format_results, run_benchmarks
+
+    results = run_benchmarks(out=args.out, workers=args.workers or None,
+                             quick=args.quick)
+    print(format_results(results))
+    if args.out:
+        print(f"benchmark results written to {args.out}", file=sys.stderr)
+    ok = results["figure4"]["identical"] and results["cache"]["identical"]
+    if not ok:
+        print("FAIL: parallel or cached results differ from serial",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="performance harness: parallel executor, run cache and "
+        "sim-core timings (BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="smoke-run the perf machinery on built-in fixtures and exit",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    bench = commands.add_parser("bench", help="time serial vs parallel and "
+                                "cold vs warm cache; write BENCH_perf.json")
+    bench.add_argument("--out", default="BENCH_perf.json",
+                       help="output file ('' = don't write)")
+    bench.add_argument("--workers", type=int, default=0,
+                       help="worker processes (default: one per CPU)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller grids (CI-sized run)")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.self_check:
+        return self_check()
+    if not getattr(args, "command", None):
+        parser.print_help(sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

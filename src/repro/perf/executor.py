@@ -1,0 +1,105 @@
+"""Parallel map over independent experiment cells.
+
+Every cell of the evaluation grid -- a (n_cpus, workload, seed,
+ablation) point -- is an independent simulation, so the sweep loops
+are embarrassingly parallel.  :func:`pmap` fans a picklable function
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` in index
+chunks and reassembles the results in submission order, so the output
+is **bit-for-bit identical** to a serial ``[fn(x) for x in items]``.
+
+Fallback rules (all silent, all order-preserving):
+
+- ``max_workers`` of ``None``/``0`` means "one worker per CPU";
+  ``1`` (the default everywhere) runs serially in-process;
+- closures and other non-picklable callables/items run serially --
+  the ablation sweeps in :mod:`repro.experiments.runner` close over
+  local state and hit this path by design;
+- a single item is never worth a worker process.
+
+The optional ``stats`` dict reports which path ran, for the timing
+harness and the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """One worker per available CPU (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def picklable(obj: Any) -> bool:
+    """True when ``obj`` survives pickling (process-pool requirement)."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def chunk_indices(n_items: int, chunksize: int) -> List[range]:
+    """Split ``range(n_items)`` into contiguous chunks of ``chunksize``."""
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    return [range(i, min(i + chunksize, n_items)) for i in range(0, n_items, chunksize)]
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
+    """Worker-side body: evaluate one contiguous chunk in order."""
+    return [fn(item) for item in chunk]
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    stats: Optional[Dict[str, Any]] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    Results always come back in input order regardless of which worker
+    finished first, so callers can rely on parallel output being
+    identical to serial output.
+    """
+    items = list(items)
+    workers = default_workers() if not max_workers else int(max_workers)
+    workers = min(workers, len(items))
+
+    def serial(mode: str) -> List[R]:
+        if stats is not None:
+            stats.update(mode=mode, workers=1, chunks=len(items))
+        return [fn(item) for item in items]
+
+    if workers <= 1:
+        return serial("serial")
+    if not picklable(fn) or not picklable(items):
+        return serial("serial-unpicklable")
+
+    if chunksize is None:
+        # ~4 chunks per worker balances load against submit overhead.
+        chunksize = max(1, math.ceil(len(items) / (workers * 4)))
+    chunks = [[items[i] for i in index_range]
+              for index_range in chunk_indices(len(items), chunksize)]
+    results: List[Optional[List[R]]] = [None] * len(chunks)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_run_chunk, fn, chunk): position
+                   for position, chunk in enumerate(chunks)}
+        wait(futures, return_when=FIRST_EXCEPTION)
+        for future, position in futures.items():
+            results[position] = future.result()  # re-raises worker errors
+    if stats is not None:
+        stats.update(mode="parallel", workers=workers, chunks=len(chunks))
+    ordered: List[R] = []
+    for chunk_result in results:
+        ordered.extend(chunk_result)
+    return ordered

@@ -136,7 +136,16 @@ class Process(Event):
     on each other.  :meth:`interrupt` throws
     :class:`~repro.sim.events.Interrupt` inside the generator at the
     current simulation time, which is how preemption is modelled.
+
+    Wake-ups (start, interrupt delivery, already-processed targets) are
+    pushed into the queue as bare callbacks rather than throwaway
+    ``Event`` objects: one queue entry is pushed either way, so tie
+    ordering — and therefore the schedule — is unchanged, but the
+    allocation and callback-dispatch cost disappears from the hottest
+    paths of full-system runs.
     """
+
+    __slots__ = ("_generator", "_waiting_on", "_wait_list", "_wait_slot")
 
     def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None):
         super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
@@ -144,11 +153,16 @@ class Process(Event):
             raise TypeError("Process requires a generator (did you call the function?)")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Where our _resume callback sits inside the waited event's
+        # callback list, for O(1) tombstone detach on interrupt.
+        self._wait_list: Optional[list] = None
+        self._wait_slot: int = -1
         # Kick off at the current time, but through the queue so that
         # construction order stays deterministic.
-        start = Event(sim, name=f"{self.name}.start")
-        start.callbacks.append(self._resume)
-        start.succeed()
+        sim._push(sim.now, self._start)
+
+    def _start(self) -> None:
+        self._resume(None)
 
     @property
     def is_alive(self) -> bool:
@@ -167,28 +181,29 @@ class Process(Event):
         if self.triggered:
             raise RuntimeError(f"cannot interrupt finished process {self!r}")
 
-        def deliver(_evt: Event) -> None:
+        def deliver() -> None:
             if self.triggered:
                 return
             if guard is not None and not guard():
                 return
             self._resume(None, throw=Interrupt(cause))
 
-        interrupt_event = Event(self.sim, name=f"{self.name}.interrupt")
-        interrupt_event.callbacks.append(deliver)
-        interrupt_event.succeed()
+        self.sim._push(self.sim.now, deliver)
 
     # -- internal -------------------------------------------------------------
     def _resume(self, event: Optional[Event], throw: Optional[BaseException] = None) -> None:
         if self.triggered:
             return
         # Detach from whatever we were waiting on (interrupt case).
+        # Tombstone our recorded slot instead of list.remove: entries
+        # are append-only (only swapped out wholesale by
+        # _run_callbacks, which our recorded reference survives), so
+        # the slot index stays valid and detach is O(1) even for
+        # heavily-interrupted processes.
         if self._waiting_on is not None and self._waiting_on is not event:
-            try:
-                self._waiting_on.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            self._wait_list[self._wait_slot] = None
         self._waiting_on = None
+        self._wait_list = None
         try:
             if throw is not None:
                 target = self._generator.throw(throw)
@@ -214,11 +229,11 @@ class Process(Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
             )
-        self._waiting_on = target
         if target._state == PENDING or not target.processed:
+            self._waiting_on = target
+            self._wait_list = target.callbacks
+            self._wait_slot = len(target.callbacks)
             target.callbacks.append(self._resume)
         else:
             # Already processed event: resume immediately via queue.
-            wake = Event(self.sim, name=f"{self.name}.wake")
-            wake.callbacks.append(lambda _evt: self._resume(target))
-            wake.succeed()
+            self.sim._push(self.sim.now, lambda: self._resume(target))

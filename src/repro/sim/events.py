@@ -33,6 +33,13 @@ class Interrupt(Exception):
 class Event:
     """A one-shot occurrence that processes can wait for.
 
+    Events are allocated on every timeout, wake-up and resource grant,
+    so the class is slotted: full-system runs create millions of them
+    and the per-instance ``__dict__`` would dominate the allocation
+    cost.  Entries in ``callbacks`` may be tombstoned to ``None`` by a
+    detaching waiter (see ``Process._resume``); ``_run_callbacks``
+    skips them.
+
     Parameters
     ----------
     sim:
@@ -40,6 +47,8 @@ class Event:
     name:
         Optional label used in tracebacks and ``repr``.
     """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_state")
 
     def __init__(self, sim: "Simulator", name: Optional[str] = None):  # noqa: F821
         self.sim = sim
@@ -100,7 +109,8 @@ class Event:
         self._state = PROCESSED
         callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:
-            callback(self)
+            if callback is not None:  # skip tombstoned (detached) waiters
+                callback(self)
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
@@ -115,6 +125,8 @@ class Timeout(Event):
     simulator loop when its queue entry is reached.
     """
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None, name: Optional[str] = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -128,14 +140,16 @@ class Timeout(Event):
 class ConditionEvent(Event):
     """Base for AnyOf / AllOf composite events."""
 
+    __slots__ = ("events", "_done")
+
     def __init__(self, sim: "Simulator", events: List[Event], name: str):  # noqa: F821
         super().__init__(sim, name=name)
         self.events = list(events)
+        self._done = 0
         if not self.events:
             # Degenerate condition: trivially satisfied.
             self.succeed({})
             return
-        self._done = 0
         for event in self.events:
             if event.triggered:
                 self._on_child(event)
@@ -159,6 +173,8 @@ class ConditionEvent(Event):
 class AnyOf(ConditionEvent):
     """Fires when any constituent event fires."""
 
+    __slots__ = ()
+
     def __init__(self, sim, events):
         super().__init__(sim, events, name="AnyOf")
 
@@ -168,6 +184,8 @@ class AnyOf(ConditionEvent):
 
 class AllOf(ConditionEvent):
     """Fires when all constituent events have fired."""
+
+    __slots__ = ()
 
     def __init__(self, sim, events):
         super().__init__(sim, events, name="AllOf")

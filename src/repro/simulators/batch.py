@@ -10,10 +10,14 @@ to Figure 4's bars.
 
 from __future__ import annotations
 
+import functools
 import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
+
+from repro.perf.cache import RunCache, cache_key
+from repro.perf.executor import pmap
 
 #: Two-sided 95 % t critical values for small sample sizes (df 1..30).
 _T95 = [
@@ -75,28 +79,63 @@ class ReplicationSummary:
         )
 
 
+def _sample(measure: Callable[[int], float], seed: int) -> float:
+    """One replication, coerced to float on the worker side."""
+    return float(measure(seed))
+
+
 def replicate(
     label: str,
     measure: Callable[[int], float],
     replications: int,
     seeds: Optional[Sequence[int]] = None,
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
+    cache_tag: Optional[str] = None,
 ) -> ReplicationSummary:
     """Run ``measure(seed)`` for each replication and aggregate.
 
     ``seeds`` defaults to 0..replications-1; determinism is preserved
-    because the seed is the only varying input.
+    because the seed is the only varying input.  Replications are
+    independent, so ``max_workers > 1`` fans them out over worker
+    processes (picklable measures only; closures run serially) with
+    samples reassembled in seed order -- identical to a serial run.
+    With a ``cache``, samples are keyed by (tag, seed, package
+    version); ``cache_tag`` defaults to the label.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     if seeds is None:
-        seeds = range(replications)
+        seeds = list(range(replications))
     else:
         seeds = list(seeds)
         if len(seeds) != replications:
             raise ValueError("seeds length must equal replications")
     summary = ReplicationSummary(label=label)
-    for seed in seeds:
-        summary.samples.append(float(measure(seed)))
+    samples: List[Optional[float]] = [None] * len(seeds)
+    pending = list(range(len(seeds)))
+    keys: List[Optional[str]] = [None] * len(seeds)
+    if cache is not None:
+        pending = []
+        for index, seed in enumerate(seeds):
+            keys[index] = cache_key(
+                kind="replicate", tag=cache_tag or label, seed=seed
+            )
+            hit, value = cache.lookup(keys[index])
+            if hit:
+                samples[index] = value
+            else:
+                pending.append(index)
+    computed = pmap(
+        functools.partial(_sample, measure),
+        [seeds[i] for i in pending],
+        max_workers=max_workers,
+    )
+    for index, value in zip(pending, computed):
+        samples[index] = value
+        if cache is not None:
+            cache.put(keys[index], value)
+    summary.samples.extend(samples)
     return summary
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import TICK
 from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
 from repro.hw.microblaze import ExecutionProfile
 from repro.hw.soc import SoC, SoCConfig
@@ -33,7 +34,7 @@ class PrototypeConfig:
     """Run parameters for the prototype simulator."""
 
     n_cpus: int = 2
-    tick: int = 5_000_000
+    tick: int = TICK
     scale: int = 1
     chunk_cycles: int = 2_000
     costs: KernelCosts = field(default_factory=KernelCosts)

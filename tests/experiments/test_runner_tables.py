@@ -43,6 +43,37 @@ class TestSweep:
         assert result.to_csv() == ""
         assert "empty" in result.format()
 
+    def test_ragged_rows_csv_uses_key_union(self):
+        """Regression: fieldnames must be the union over all rows, not
+        row 0's keys -- ragged sweeps used to raise ValueError in
+        DictWriter."""
+        result = SweepResult(parameters=["x"])
+        result.rows = [
+            {"x": 1, "y": 2},
+            {"x": 3, "y": 4, "extra": 5},  # extra column appears late
+            {"x": 6},                      # and one row misses y
+        ]
+        csv_text = result.to_csv()
+        lines = csv_text.splitlines()
+        assert lines[0] == "x,y,extra"
+        assert lines[1] == "1,2,"
+        assert lines[2] == "3,4,5"
+        assert lines[3] == "6,,"
+        formatted = result.format()
+        assert "extra" in formatted
+
+    def test_parallel_sweep_matches_serial(self):
+        grid = {"a": [1, 2], "b": [3, 4]}
+
+        def measure(a, b):
+            return {"sum": a + b}
+
+        # Closure measure: the parallel request falls back serially but
+        # must still produce identical rows.
+        serial = sweep(measure, grid, max_workers=1)
+        parallel = sweep(measure, grid, max_workers=4)
+        assert parallel.rows == serial.rows
+
 
 class TestPrototypeMeasurement:
     def test_single_point_sane(self):

@@ -1,0 +1,103 @@
+"""Unit tests for the content-addressed run cache (repro.perf.cache)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.task import PeriodicTask, TaskSet
+from repro.kernel.costs import KernelCosts
+from repro.perf.cache import (
+    RunCache,
+    cache_key,
+    canonical,
+    fingerprint,
+    taskset_rows,
+)
+
+pytestmark = pytest.mark.perf
+
+
+class TestKeys:
+    def test_stable_under_kwarg_order(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_sensitive_to_values_and_names(self):
+        base = cache_key(a=1)
+        assert base != cache_key(a=2)
+        assert base != cache_key(b=1)
+
+    def test_version_is_part_of_the_key(self):
+        implicit = cache_key(a=1)
+        assert implicit == cache_key(a=1, version=repro.__version__)
+        assert implicit != cache_key(a=1, version="0.0.0-other")
+
+    def test_dataclasses_hash_by_content_and_type(self):
+        assert cache_key(costs=KernelCosts()) == cache_key(costs=KernelCosts())
+        tweaked = KernelCosts(context_primitive=KernelCosts().context_primitive + 1)
+        assert cache_key(costs=KernelCosts()) != cache_key(costs=tweaked)
+
+    def test_canonical_json_safe(self):
+        shape = canonical({"t": (1, 2), "costs": KernelCosts(), "f": 0.25})
+        json.dumps(shape)  # must not raise
+        assert shape["t"] == [1, 2]
+        assert shape["costs"]["__dataclass__"] == "KernelCosts"
+
+    def test_taskset_rows_capture_analysis_fields(self):
+        ts = TaskSet([PeriodicTask(name="t", wcet=10, period=100)])
+        promoted = TaskSet([
+            PeriodicTask(name="t", wcet=10, period=100, promotion=50)
+        ])
+        assert fingerprint(taskset_rows(ts)) != fingerprint(taskset_rows(promoted))
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache_key(x=1)
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        cache.put(key, {"y": 2.5})
+        hit, value = cache.lookup(key)
+        assert hit and value == {"y": 2.5}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["stores"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_get_with_default(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get("0" * 64, default="absent") == "absent"
+
+    def test_contains_and_len(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache_key(x="contains")
+        assert key not in cache
+        cache.put(key, 1)
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        key = cache_key(x="persist")
+        RunCache(tmp_path).put(key, [1.0, 2.0])
+        assert RunCache(tmp_path).get(key) == [1.0, 2.0]
+
+    def test_float_round_trip_exact(self, tmp_path):
+        cache = RunCache(tmp_path)
+        value = 10.743986666666668
+        key = cache_key(x="float")
+        cache.put(key, value)
+        assert cache.get(key) == value
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache_key(x="corrupt")
+        cache.put(key, 1)
+        cache._path(key).write_text("{not json")
+        hit, _ = cache.lookup(key)
+        assert not hit
+
+    def test_env_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
+        cache = RunCache()
+        assert str(cache.root).endswith("envroot")

@@ -1,0 +1,58 @@
+"""Tests for the repro-perf CLI and the timing harness."""
+
+import io
+import json
+
+import pytest
+
+from repro.perf import bench
+from repro.perf.cli import main, self_check
+
+pytestmark = pytest.mark.perf
+
+
+class TestSelfCheck:
+    def test_passes(self):
+        out = io.StringIO()
+        assert self_check(out=out) == 0
+        text = out.getvalue()
+        assert "self-check: PASS" in text
+        assert "FAIL" not in text.replace("PASS", "")
+
+    def test_main_flag(self, capsys):
+        assert main(["--self-check"]) == 0
+        assert "self-check: PASS" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-perf" in capsys.readouterr().err
+
+
+class TestBenchSections:
+    def test_engine_micro(self):
+        result = bench.bench_engine(n_processes=20, horizon=200)
+        assert result["events"] > 0
+        assert result["events_per_s"] > 0
+
+    def test_engine_micro_deterministic_event_count(self):
+        a = bench.bench_engine(n_processes=20, horizon=200)
+        b = bench.bench_engine(n_processes=20, horizon=200)
+        assert a["events"] == b["events"]
+
+
+@pytest.mark.slow
+class TestBenchEndToEnd:
+    def test_run_benchmarks_writes_json(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        results = bench.run_benchmarks(
+            out=str(out), workers=2, quick=True
+        )
+        assert results["figure4"]["identical"]
+        assert results["cache"]["identical"]
+        assert results["cache"]["hit_rate"] == 0.5  # warm run all hits
+        on_disk = json.loads(out.read_text())
+        assert on_disk["engine"]["events"] == results["engine"]["events"]
+        assert set(on_disk) == {"version", "host", "engine", "figure4", "cache"}
+        assert "speedup" in on_disk["figure4"]
+        text = bench.format_results(results)
+        assert "figure4" in text and "cache" in text

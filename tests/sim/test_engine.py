@@ -286,3 +286,88 @@ def test_unwaited_process_failure_raises_out_of_run():
     sim.process(child())
     with pytest.raises(ValueError):
         sim.run()
+
+
+def test_heavy_interrupt_churn_detaches_correctly():
+    """Tombstone detach: repeated interrupts must not corrupt the
+    abandoned events' callback lists or re-wake the process."""
+    sim = Simulator()
+    log = []
+
+    def worker():
+        while True:
+            try:
+                yield sim.timeout(50)
+                log.append((sim.now, "tick"))
+                return
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+    proc = sim.process(worker())
+    for i in range(1, 11):
+        sim.schedule(i * 3, lambda i=i: proc.interrupt(i) if proc.is_alive else None)
+    sim.run()
+    assert log == [(i * 3, i) for i in range(1, 11)] + [(80, "tick")]
+
+
+def test_interrupt_churn_deterministic_across_runs():
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def worker(tag):
+            for _ in range(5):
+                try:
+                    yield sim.timeout(10)
+                    log.append((sim.now, tag, "tick"))
+                except Interrupt:
+                    log.append((sim.now, tag, "irq"))
+
+        victims = [sim.process(worker(t)) for t in "abc"]
+
+        def hammer():
+            while any(v.is_alive for v in victims):
+                yield sim.timeout(7)
+                for victim in victims:
+                    if victim.is_alive:
+                        victim.interrupt()
+
+        sim.process(hammer())
+        sim.run(until=1_000)
+        return log
+
+    assert run_once() == run_once()
+
+
+def test_events_have_no_instance_dict():
+    """Event/Timeout/Process are slotted; allocation-heavy runs rely
+    on it."""
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1)
+
+    proc = sim.process(worker())
+    for obj in (sim.event(), sim.timeout(5), proc):
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+    sim.run()
+
+
+def test_interrupt_then_wait_on_processed_event():
+    """The direct-push wake path for already-processed targets."""
+    sim = Simulator()
+    log = []
+    done = sim.event()
+    done.succeed("ready")
+
+    def worker():
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            value = yield done  # already processed: wake via queue push
+            log.append((sim.now, value))
+
+    proc = sim.process(worker())
+    sim.schedule(10, lambda: proc.interrupt())
+    sim.run()
+    assert log == [(10, "ready")]
