@@ -1,0 +1,55 @@
+"""Benchmark: observability overhead on the Figure 4 hot path.
+
+The instrumentation contract is *zero cost when disabled*: every
+hooked component defaults to ``metrics=None`` and pays one attribute
+check per would-be observation.  This benchmark times one Figure 4
+prototype cell three ways -- uninstrumented (the default every
+experiment uses), fully instrumented (``prototype_run_report``), and
+against the per-cell wall clock recorded in ``BENCH_perf.json`` --
+and holds the disabled run to within 2% of the recorded baseline.
+
+The baseline assertion only applies when ``BENCH_perf.json`` was
+produced on this host (platform string match); cross-host wall-clock
+ratios are noise, not regressions.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.bench import OVERHEAD_BUDGET, bench_obs_overhead, format_overhead
+
+pytestmark = pytest.mark.obs
+
+BENCH_FILE = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return bench_obs_overhead(repeats=3, bench_file=BENCH_FILE)
+
+
+@pytest.mark.paper
+def test_disabled_instrumentation_overhead(overhead, report):
+    report.append("[Obs] " + format_overhead(overhead).replace("\n", "\n      "))
+    if "overhead_vs_baseline" not in overhead:
+        pytest.skip("no BENCH_perf.json baseline to compare against")
+    if not overhead["baseline_host_matches"]:
+        pytest.skip("BENCH_perf.json was recorded on a different host")
+    assert overhead["overhead_vs_baseline"] < OVERHEAD_BUDGET, (
+        f"disabled-instrumentation run is "
+        f"{overhead['overhead_vs_baseline']:+.1%} vs the recorded baseline "
+        f"(budget {OVERHEAD_BUDGET:.0%}): the metrics=None guards are no "
+        f"longer free"
+    )
+
+
+def test_enabled_instrumentation_is_bounded(overhead):
+    # The instrumented run does strictly more work (registry updates,
+    # ring-buffer trace, windowed bus monitor); it must still be the
+    # same order of magnitude or the hooks are on a hot path they
+    # should not be on.
+    assert overhead["enabled_overhead"] < 1.0, (
+        f"instrumented run is {overhead['enabled_overhead']:+.1%} vs "
+        f"disabled -- observability must not double the simulation cost"
+    )

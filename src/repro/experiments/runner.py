@@ -39,6 +39,8 @@ class SweepResult:
 
     parameters: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Run-cache accounting for this sweep (None when no cache given).
+    cache_stats: Optional[Dict[str, Any]] = None
 
     def to_csv(self) -> str:
         if not self.rows:
@@ -73,6 +75,12 @@ class SweepResult:
         for row in self.rows:
             lines.append(
                 "  ".join(self._cell(row.get(k, "")).ljust(widths[k]) for k in keys)
+            )
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            lines.append(
+                f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+                f"({stats['hit_rate']:.0%} hit rate)"
             )
         return "\n".join(lines)
 
@@ -128,6 +136,7 @@ def sweep(
         for values in itertools.product(*(grid[name] for name in names))
     ]
     result = SweepResult(parameters=names)
+    before = (cache.hits, cache.misses) if cache is not None else (0, 0)
     result.rows.extend(
         _cached_pmap(
             functools.partial(_eval_point, measure),
@@ -144,6 +153,17 @@ def sweep(
             ],
         )
     )
+    if cache is not None:
+        # Surface this sweep's share of the cache accounting instead of
+        # silently dropping it (the cache object may be long-lived).
+        hits = cache.hits - before[0]
+        misses = cache.misses - before[1]
+        total = hits + misses
+        result.cache_stats = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
     return result
 
 
@@ -218,6 +238,94 @@ def prototype_response_s(
         "context_switches": stats["context_switches"],
         "mpic_timeouts": stats["mpic_timeouts"],
     }
+
+
+# ------------------------------------------------------------- observability
+def prototype_run_report(
+    n_cpus: int = 2,
+    utilization: float = 0.5,
+    scale: int = 1_000,
+    arrival_s: float = 1.0,
+    horizon_margin_s: float = 17.0,
+    monitor_windows: int = 50,
+    trace: Any = None,
+    run_cache: Optional[RunCache] = None,
+    label: Optional[str] = None,
+):
+    """One fully instrumented prototype run -> :class:`RunReport`.
+
+    Same workload as :func:`prototype_response_s`, but wired for
+    observability: a :class:`~repro.obs.metrics.MetricsRegistry`
+    threaded through the kernel, MPIC and sync engine (scheduler-cycle
+    latency, queue depths, IPI latency, lock wait/hold times), a
+    windowed bus monitor folded into the registry, per-cpu i-cache and
+    optional run-cache hit rates, and a trace summary.  ``trace`` may
+    be a prepared :class:`~repro.trace.recorder.TraceRecorder` (e.g.
+    over a JSONL sink); by default the run traces into a bounded ring
+    buffer so memory stays flat at any horizon.
+    """
+    from repro.hw.monitor import BusMonitor
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import RunReport, fold_icaches, fold_run_cache
+    from repro.obs.sinks import RingBufferSink
+    from repro.trace.recorder import TraceRecorder
+
+    registry = MetricsRegistry()
+    if trace is None:
+        trace = TraceRecorder(sink=RingBufferSink(capacity=65_536))
+
+    taskset = prepare_taskset(
+        build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
+    )
+    check_taskset(taskset, n_cpus, tick=TICK)
+    arrival = int(arrival_s * CLOCK_HZ)
+    horizon = arrival + int(horizon_margin_s * CLOCK_HZ)
+    proto = PrototypeSimulator(
+        taskset,
+        PrototypeConfig(n_cpus=n_cpus, tick=TICK, scale=scale),
+        bindings=automotive_bindings(),
+        aperiodic_arrivals={AUTOMOTIVE_APERIODIC: [arrival]},
+        trace=trace,
+        metrics=registry,
+    )
+    scaled_horizon = horizon // scale
+    monitor = BusMonitor(
+        proto.soc.sim, proto.soc.bus,
+        window=max(1, scaled_horizon // max(1, monitor_windows)),
+    )
+    monitor.start()
+    proto.run(horizon)
+    monitor.stop()
+
+    monitor.fold_into(registry)
+    fold_icaches(registry, (core.icache for core in proto.soc.cores))
+    if run_cache is not None:
+        fold_run_cache(registry, run_cache)
+
+    metrics = compute_metrics(proto.finished_jobs, scaled_horizon, trace=trace)
+    response = proto.to_full_scale(
+        int(metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
+    )
+    registry.gauge("aperiodic_response_s",
+                   help="mean aperiodic response time (full-scale seconds)").set(
+        round(cycles_to_seconds(response), 6))
+    registry.gauge("deadline_misses",
+                   help="deadline misses over the run").set(metrics.deadline_misses)
+
+    trace.close()
+    return RunReport.build(
+        label=label or f"prototype {n_cpus}P@{utilization:.0%}",
+        registry=registry,
+        params={
+            "n_cpus": n_cpus,
+            "utilization": utilization,
+            "scale": scale,
+            "arrival_s": arrival_s,
+            "horizon_margin_s": horizon_margin_s,
+        },
+        kernel_stats=proto.stats(),
+        trace=trace,
+    )
 
 
 # ------------------------------------------------------------------ ablations

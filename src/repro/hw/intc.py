@@ -89,7 +89,8 @@ class MultiprocessorInterruptController:
     #: Bus register block (acks/EOIs/configuration go through the OPB).
     REGISTERS = RegisterTarget(name="mpic", latency=3)
 
-    def __init__(self, sim: Simulator, n_cpus: int, ack_timeout: int = 500):
+    def __init__(self, sim: Simulator, n_cpus: int, ack_timeout: int = 500,
+                 metrics=None):
         if n_cpus < 1:
             raise ValueError("n_cpus must be >= 1")
         if ack_timeout <= 0:
@@ -97,6 +98,26 @@ class MultiprocessorInterruptController:
         self.sim = sim
         self.n_cpus = n_cpus
         self.ack_timeout = ack_timeout
+        # Observability: delivery-latency histograms (IPIs tracked
+        # separately -- their raise->acknowledge path is the context
+        # switch trigger the paper cares about) and per-source
+        # distribution counters.  ``metrics=None`` keeps every hot
+        # path at a single attribute check.
+        self.metrics = metrics
+        self._m_latency = self._m_ipi_latency = self._m_timeouts = None
+        if metrics is not None:
+            self._m_latency = metrics.histogram(
+                "mpic_delivery_cycles",
+                help="cycles between interrupt raise and acknowledge",
+            )
+            self._m_ipi_latency = metrics.histogram(
+                "ipi_delivery_cycles",
+                help="cycles between IPI send and acknowledge",
+            )
+            self._m_timeouts = metrics.counter(
+                "mpic_timeouts_total",
+                help="distributed offers re-routed after ack timeout",
+            )
 
         self.sources: Dict[int, InterruptSource] = {}
         self._next_source_id = 0
@@ -227,6 +248,15 @@ class MultiprocessorInterruptController:
         self.delivered += 1
         busy = sum(1 for entry in self._in_service if entry is not None)
         self.max_parallel_handlers = max(self.max_parallel_handlers, busy)
+        if self.metrics is not None:
+            latency = self.sim.now - pending.raised_at
+            is_ipi = pending.source.name.startswith("ipi-from-cpu")
+            (self._m_ipi_latency if is_ipi else self._m_latency).observe(latency)
+            self.metrics.counter(
+                "mpic_delivered_total",
+                labels={"source": pending.source.name},
+                help="interrupts delivered, by source",
+            ).inc()
         self._update_line(cpu)
         return pending.source, pending.payload
 
@@ -265,6 +295,8 @@ class MultiprocessorInterruptController:
                 self._offers[cpu].remove(pending)
                 self._update_line(cpu)
                 self.timeouts += 1
+                if self._m_timeouts is not None:
+                    self._m_timeouts.inc()
                 self._distribute(pending, first_cpu=(cpu + 1) % self.n_cpus)
 
         self.sim.schedule(self.ack_timeout, on_timeout)

@@ -55,17 +55,20 @@ class SoCConfig:
 class SoC:
     """The assembled multiprocessor."""
 
-    def __init__(self, config: SoCConfig, sim: Optional[Simulator] = None):
+    def __init__(self, config: SoCConfig, sim: Optional[Simulator] = None,
+                 metrics=None):
         self.config = config
         self.sim = sim or Simulator()
+        self.metrics = metrics
 
         self.bus = OPBBus(self.sim, name="opb")
         self.ddr = DDRMemory(size=config.ddr_bytes)
         self.boot_bram = SharedBRAM()
-        self.sync_engine = SynchronizationEngine(self.sim)
+        self.sync_engine = SynchronizationEngine(self.sim, metrics=metrics)
         self.crossbar = Crossbar(self.sim, n_ports=config.n_cpus)
         self.intc = MultiprocessorInterruptController(
-            self.sim, n_cpus=config.n_cpus, ack_timeout=config.mpic_ack_timeout
+            self.sim, n_cpus=config.n_cpus, ack_timeout=config.mpic_ack_timeout,
+            metrics=metrics,
         )
 
         self.cores: List[MicroBlaze] = []

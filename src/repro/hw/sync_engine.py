@@ -23,15 +23,17 @@ class SynchronizationEngine:
     """Hardware lock and barrier coprocessor.
 
     When given a ``trace`` recorder the engine emits the concurrency
-    event vocabulary (``acquire`` at grant time, ``release``,
+    event vocabulary (``acquire`` at grant time, ``unlock``,
     ``barrier`` per arrival) that the race/deadlock checker in
-    :mod:`repro.lint.concurrency` consumes.
+    :mod:`repro.lint.concurrency` consumes.  When given a ``metrics``
+    registry it observes lock wait time (request -> grant) and hold
+    time (grant -> release) distributions.
     """
 
     REGISTERS = RegisterTarget(name="sync-engine", latency=2)
 
     def __init__(self, sim: Simulator, n_locks: int = 32, n_barriers: int = 8,
-                 trace=None):
+                 trace=None, metrics=None):
         if n_locks < 1 or n_barriers < 0:
             raise ValueError("need at least one lock")
         self.sim = sim
@@ -40,10 +42,21 @@ class SynchronizationEngine:
         self.n_barriers = n_barriers
         self._owners: List[Optional[int]] = [None] * n_locks
         self._waiters: List[Deque[tuple]] = [deque() for _ in range(n_locks)]
+        self._granted_at: List[Optional[int]] = [None] * n_locks
         self._barrier_width: Dict[int, int] = {}
         self._barrier_arrived: Dict[int, List[Event]] = {}
         self.acquisitions = 0
         self.contended_acquisitions = 0
+        self._m_wait = self._m_hold = None
+        if metrics is not None:
+            self._m_wait = metrics.histogram(
+                "sync_lock_wait_cycles",
+                help="cycles between a lock request and its grant",
+            )
+            self._m_hold = metrics.histogram(
+                "sync_lock_hold_cycles",
+                help="cycles a granted lock was held before release",
+            )
 
     def _record(self, kind: str, cpu: int, info: str) -> None:
         if self.trace is not None:
@@ -57,14 +70,20 @@ class SynchronizationEngine:
         if self._owners[lock_id] is None:
             self._owners[lock_id] = cpu
             self.acquisitions += 1
+            self._grant_metrics(lock_id, waited=0)
             self._record("acquire", cpu, f"lock={lock_id}")
             event.succeed(lock_id)
         else:
             if self._owners[lock_id] == cpu:
                 raise RuntimeError(f"cpu {cpu} re-acquiring held lock {lock_id}")
             self.contended_acquisitions += 1
-            self._waiters[lock_id].append((cpu, event))
+            self._waiters[lock_id].append((cpu, event, self.sim.now))
         return event
+
+    def _grant_metrics(self, lock_id: int, waited: int) -> None:
+        self._granted_at[lock_id] = self.sim.now
+        if self._m_wait is not None:
+            self._m_wait.observe(waited)
 
     def try_acquire(self, lock_id: int, cpu: int) -> bool:
         """Non-blocking acquire; True when the lock was free."""
@@ -72,6 +91,7 @@ class SynchronizationEngine:
         if self._owners[lock_id] is None:
             self._owners[lock_id] = cpu
             self.acquisitions += 1
+            self._grant_metrics(lock_id, waited=0)
             self._record("acquire", cpu, f"lock={lock_id}")
             return True
         return False
@@ -83,11 +103,15 @@ class SynchronizationEngine:
             raise RuntimeError(
                 f"cpu {cpu} releasing lock {lock_id} owned by {self._owners[lock_id]}"
             )
-        self._record("release", cpu, f"lock={lock_id}")
+        if self._m_hold is not None and self._granted_at[lock_id] is not None:
+            self._m_hold.observe(self.sim.now - self._granted_at[lock_id])
+        self._granted_at[lock_id] = None
+        self._record("unlock", cpu, f"lock={lock_id}")
         if self._waiters[lock_id]:
-            next_cpu, event = self._waiters[lock_id].popleft()
+            next_cpu, event, requested_at = self._waiters[lock_id].popleft()
             self._owners[lock_id] = next_cpu
             self.acquisitions += 1
+            self._grant_metrics(lock_id, waited=self.sim.now - requested_at)
             self._record("acquire", next_cpu, f"lock={lock_id}")
             event.succeed(lock_id)
         else:

@@ -54,6 +54,7 @@ class DualPriorityMicrokernel:
         bindings: Optional[Dict[str, TaskBinding]] = None,
         costs: Optional[KernelCosts] = None,
         trace: Optional[TraceRecorder] = None,
+        metrics=None,
     ):
         self.soc = soc
         self.sim = soc.sim
@@ -86,6 +87,40 @@ class DualPriorityMicrokernel:
         self.aperiodic_releases = 0
         self.irqs_serviced = 0
         self._started = False
+
+        # Observability (optional MetricsRegistry).  Instrument
+        # handles are resolved once here so instrumented runs pay no
+        # registry lookup per event, and uninstrumented runs pay one
+        # ``is None`` check per observation point.
+        self.metrics = metrics
+        self._m_sched = self._m_switches = self._m_irqs = None
+        self._m_prq_depth = self._m_apq_depth = self._m_local_depth = None
+        if metrics is not None:
+            from repro.obs.metrics import DEFAULT_DEPTH_BUCKETS
+
+            self._m_sched = metrics.histogram(
+                "sched_cycle_cycles",
+                help="latency of one scheduling cycle (lock request to done)",
+            )
+            self._m_switches = metrics.counter(
+                "context_switches_total", help="context switches performed")
+            self._m_irqs = metrics
+            self._m_prq_depth = metrics.histogram(
+                "queue_depth", buckets=DEFAULT_DEPTH_BUCKETS,
+                labels={"queue": "periodic_ready"},
+                help="ready-queue depth sampled at each scheduling cycle",
+            )
+            self._m_apq_depth = metrics.histogram(
+                "queue_depth", buckets=DEFAULT_DEPTH_BUCKETS,
+                labels={"queue": "aperiodic_ready"},
+            )
+            self._m_local_depth = [
+                metrics.histogram(
+                    "queue_depth", buckets=DEFAULT_DEPTH_BUCKETS,
+                    labels={"queue": "local", "cpu": cpu},
+                )
+                for cpu in range(self.n_cpus)
+            ]
 
     # ----------------------------------------------------------------- control
     def start(self) -> None:
@@ -196,6 +231,11 @@ class DualPriorityMicrokernel:
             yield self.sim.timeout(self.costs.irq_entry)
             self.irqs_serviced += 1
             kind = (payload or {}).get("kind", source.name)
+            if self._m_irqs is not None:
+                self._m_irqs.counter(
+                    "kernel_irqs_total", labels={"kind": str(kind)},
+                    help="interrupts serviced by the kernel, by kind",
+                ).inc()
             self.trace.record(self.sim.now, "irq", cpu=cpu, info=str(kind))
 
             if kind == "timer":
@@ -232,6 +272,7 @@ class DualPriorityMicrokernel:
 
     def _scheduling_cycle(self, cpu: int):
         """The timer-triggered scheduling cycle, run by one processor."""
+        entered = self.sim.now
         yield from self._lock_kernel(cpu)
         now = self.sim.now
         released = self.policy.release_due(now)
@@ -250,6 +291,16 @@ class DualPriorityMicrokernel:
         self.trace.record(self.sim.now, "tick", cpu=cpu)
         yield from self._notify_switches(cpu, allocation.switches)
         self._unlock_kernel(cpu)
+        if self._m_sched is not None:
+            self._m_sched.observe(self.sim.now - entered)
+            self._observe_queue_depths()
+
+    def _observe_queue_depths(self) -> None:
+        """Sample ready-queue depths (global bands + per-cpu local)."""
+        self._m_prq_depth.observe(len(self.policy.periodic_ready))
+        self._m_apq_depth.observe(len(self.policy.aperiodic_ready))
+        for cpu in range(self.n_cpus):
+            self._m_local_depth[cpu].observe(len(self.policy.local[cpu]))
 
     def _aperiodic_release(self, cpu: int, payload: dict):
         """Release the aperiodic task named in the peripheral payload."""
@@ -324,6 +375,8 @@ class DualPriorityMicrokernel:
         self._current[cpu] = new
         if new is not None:
             self.context_switches += 1
+            if self._m_switches is not None:
+                self._m_switches.inc()
             self.trace.record(self.sim.now, "switch", job=new.name, cpu=cpu)
             self.trace.record(self.sim.now, "dispatch", job=new.name, cpu=cpu)
 

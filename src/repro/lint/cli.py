@@ -257,12 +257,12 @@ def self_check(out=None) -> int:
     deadlock = TraceRecorder()
     deadlock.record(0, "acquire", cpu=0, info="lock=0")
     deadlock.record(1, "acquire", cpu=0, info="lock=1")
-    deadlock.record(2, "release", cpu=0, info="lock=1")
-    deadlock.record(3, "release", cpu=0, info="lock=0")
+    deadlock.record(2, "unlock", cpu=0, info="lock=1")
+    deadlock.record(3, "unlock", cpu=0, info="lock=0")
     deadlock.record(4, "acquire", cpu=1, info="lock=1")
     deadlock.record(5, "acquire", cpu=1, info="lock=0")
-    deadlock.record(6, "release", cpu=1, info="lock=0")
-    deadlock.record(7, "release", cpu=1, info="lock=1")
+    deadlock.record(6, "unlock", cpu=1, info="lock=0")
+    deadlock.record(7, "unlock", cpu=1, info="lock=1")
     report = lint_trace(deadlock)
     check("trace flags lock-order cycle", bool(report.by_rule("DEAD001")),
           ",".join(report.rules()))
@@ -271,7 +271,7 @@ def self_check(out=None) -> int:
     for time, cpu in ((0, 0), (10, 1)):
         clean.record(time, "acquire", cpu=cpu, info="lock=0")
         clean.record(time + 2, "access", cpu=cpu, info="addr=0x40010000 op=write")
-        clean.record(time + 4, "release", cpu=cpu, info="lock=0")
+        clean.record(time + 4, "unlock", cpu=cpu, info="lock=0")
     report = lint_trace(clean)
     check("trace clean: guarded accesses", report.clean,
           "; ".join(d.rule for d in report) or "no diagnostics")

@@ -1,7 +1,7 @@
 """Trace-based race and deadlock detection for the sync engine.
 
 Consumes :class:`~repro.trace.recorder.TraceRecorder` events of the
-concurrency vocabulary (``acquire``/``release``/``barrier``/``access``,
+concurrency vocabulary (``acquire``/``unlock``/``barrier``/``access``,
 emitted by :class:`~repro.hw.sync_engine.SynchronizationEngine` and
 :class:`~repro.hw.isa.ISAExecutor` when given a recorder, or built
 synthetically) and runs two classical dynamic analyses *statically over
@@ -19,9 +19,14 @@ the recorded history*:
 Event payloads ride in the ``info`` field as ``key=value`` pairs::
 
     acquire   info="lock=3"
-    release   info="lock=3"
+    unlock    info="lock=3"
     barrier   info="barrier=1 width=2"
     access    info="addr=0x40010000 op=write"
+
+(Older traces spelled lock releases ``release`` with a ``lock=``
+payload; those are still accepted for backward compatibility, while
+payload-less ``release`` events remain the scheduler's job-release
+marker and are ignored here.)
 
 Rule codes ``RACE001``-``RACE003`` and ``DEAD001``/``DEAD002`` are
 catalogued in ``docs/LINT.md``.
@@ -73,18 +78,20 @@ class ConcurrencyChecker:
 
     # ---------------------------------------------------------------- events
     def feed(self, event: TraceEvent) -> None:
-        if event.kind not in ("acquire", "release", "barrier", "access"):
+        if event.kind not in ("acquire", "unlock", "release", "barrier", "access"):
             return
         payload = _parse_info(event.info)
         if event.kind == "release" and "lock" not in payload:
-            # ``release`` doubles as the scheduler's job-release event;
-            # only the sync-engine variant carries a ``lock=`` payload.
+            # ``release`` is the scheduler's job-release event; only
+            # legacy traces that spelled lock releases ``release``
+            # carry a ``lock=`` payload (the current emitter uses
+            # ``unlock``).
             return
         self.last_time = max(self.last_time, event.time)
         cpu = event.cpu if event.cpu is not None else -1
         if event.kind == "acquire":
             self._on_acquire(event, cpu, payload)
-        elif event.kind == "release":
+        elif event.kind in ("unlock", "release"):
             self._on_release(event, cpu, payload)
         elif event.kind == "barrier":
             self._on_barrier(event, cpu, payload)

@@ -1,0 +1,69 @@
+"""Unified observability: metrics, trace sinks, Perfetto export, reports.
+
+Four pieces, one import surface:
+
+- :mod:`repro.obs.metrics` -- a Prometheus-flavoured
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+  histograms, labelled series) with deterministic JSON and
+  exposition-text snapshots;
+- :mod:`repro.obs.sinks` -- pluggable trace sinks behind the
+  existing :class:`~repro.trace.recorder.TraceRecorder` API: the
+  default in-memory list, a bounded ring buffer and a streaming
+  JSONL file sink;
+- :mod:`repro.obs.perfetto` -- Chrome trace-event export of recorded
+  schedules, loadable in ``ui.perfetto.dev``;
+- :mod:`repro.obs.report` -- per-run :class:`RunReport` artefacts
+  folding kernel, interconnect, cache and bus telemetry into one
+  JSON document.
+
+Every hook is off by default (``metrics=None``) and costs one
+attribute check when disabled; see :mod:`repro.obs.bench` for the
+measured overhead.  The ``repro-obs`` CLI (:mod:`repro.obs.cli`)
+fronts all of it.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    JsonlFileSink,
+    ListSink,
+    RingBufferSink,
+    event_from_dict,
+    event_to_dict,
+    trace_from_jsonl,
+)
+from repro.obs.perfetto import chrome_trace_json, trace_to_chrome, write_chrome_trace
+from repro.obs.report import (
+    RunReport,
+    fold_bus_monitor,
+    fold_icaches,
+    fold_run_cache,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+    "ListSink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "event_to_dict",
+    "event_from_dict",
+    "trace_from_jsonl",
+    "trace_to_chrome",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "RunReport",
+    "fold_bus_monitor",
+    "fold_icaches",
+    "fold_run_cache",
+]

@@ -1,0 +1,307 @@
+"""``repro-obs``: the observability front end.
+
+Three modes, mirroring ``repro-lint``/``repro-perf``::
+
+    repro-obs report [--cpus 2] [--util 0.5] [--scale N] [--out report.json]
+                     [--prometheus] [--trace-jsonl FILE] [--perfetto FILE]
+    repro-obs convert TRACE [--to perfetto|json|csv|jsonl] [--out FILE]
+    repro-obs --self-check
+
+``report`` runs one fully instrumented Figure-4-style prototype cell
+and emits its :class:`~repro.obs.report.RunReport` (JSON by default,
+Prometheus text with ``--prometheus``); ``convert`` re-encodes a
+recorded trace (JSON / CSV / JSONL autodetected by extension) into a
+Perfetto-loadable Chrome trace or any of the flat formats.
+``--self-check`` smoke-runs the registry, the sinks, the exporter and
+an instrumented micro-run against built-in fixtures in a few seconds
+and is part of the CI tier.
+
+Exit status: 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+
+# ------------------------------------------------------------------ self-check
+def self_check(out=None) -> int:
+    """Smoke-run the observability machinery on built-in fixtures.
+
+    Verifies counter/gauge/histogram accounting and both export
+    formats, the three sinks (list, ring drop accounting, JSONL
+    round-trip), the disabled recorder's short-circuit, the Perfetto
+    exporter's span/instant reconstruction, and that an instrumented
+    micro-run produces a RunReport carrying every headline section.
+    Returns 0 on success.
+    """
+    out = out or sys.stdout
+    failures: List[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}{': ' + detail if detail else ''}",
+              file=out)
+        if not ok:
+            failures.append(name)
+
+    # -- metrics registry
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("irqs_total", labels={"kind": "timer"}).inc(3)
+    registry.gauge("depth").set(2.5)
+    histogram = registry.histogram("lat", buckets=(10, 100))
+    for value in (5, 50, 500):
+        histogram.observe(value)
+    snapshot = registry.snapshot()
+    check("registry counts and buckets",
+          snapshot["irqs_total"]["series"][0]["value"] == 3
+          and snapshot["lat"]["series"][0]["buckets"] == {"10": 1, "100": 2, "+Inf": 3},
+          json.dumps(snapshot.get("lat", {}).get("series", "missing")))
+    text = registry.to_prometheus_text()
+    check("prometheus text renders",
+          '# TYPE lat histogram' in text
+          and 'irqs_total{kind="timer"} 3' in text
+          and 'lat_bucket{le="+Inf"} 3' in text)
+    same = MetricsRegistry()
+    same.counter("irqs_total", labels={"kind": "timer"}).inc(3)
+    same.gauge("depth").set(2.5)
+    h2 = same.histogram("lat", buckets=(10, 100))
+    for value in (5, 50, 500):
+        h2.observe(value)
+    check("export deterministic", same.to_json() == registry.to_json())
+
+    # -- sinks
+    from repro.obs.sinks import JsonlFileSink, RingBufferSink, trace_from_jsonl
+    from repro.trace.recorder import TraceRecorder
+
+    ring = TraceRecorder(sink=RingBufferSink(capacity=4))
+    for time in range(10):
+        ring.record(time, "tick", cpu=0)
+    check("ring buffer keeps the tail",
+          len(ring) == 4 and ring.sink.dropped == 6
+          and [e.time for e in ring] == [6, 7, 8, 9],
+          f"retained={[e.time for e in ring]}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-check-") as root:
+        path = os.path.join(root, "trace.jsonl")
+        streamed = TraceRecorder(sink=JsonlFileSink(path))
+        streamed.record(0, "release", job="a#0")
+        streamed.record(5, "dispatch", job="a#0", cpu=1)
+        streamed.record(20, "finish", job="a#0", cpu=1)
+        streamed.close()
+        reloaded = trace_from_jsonl(path)
+        check("jsonl sink round-trips",
+              streamed.sink.emitted == 3 and len(streamed.events) == 0
+              and [e.kind for e in reloaded] == ["release", "dispatch", "finish"])
+
+    disabled = TraceRecorder(enabled=False, sink=RingBufferSink(capacity=4))
+    disabled.record(0, "tick", cpu=0)
+    check("disabled recorder short-circuits",
+          len(disabled) == 0 and disabled.sink.emitted == 0)
+
+    # -- perfetto exporter
+    from repro.obs.perfetto import trace_to_chrome
+
+    trace = TraceRecorder()
+    trace.record(0, "release", job="a#0")
+    trace.record(5, "dispatch", job="a#0", cpu=0)
+    trace.record(20, "preempt", job="a#0", cpu=0)
+    trace.record(20, "dispatch", job="b#0", cpu=0)
+    trace.record(30, "finish", job="b#0", cpu=0)
+    trace.record(12, "irq", cpu=0, info="timer")
+    chrome = trace_to_chrome(trace, clock_hz=1_000_000)  # 1 cycle = 1 us
+    slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+    check("perfetto spans reconstructed",
+          [(s["name"], s["ts"], s["dur"]) for s in slices]
+          == [("a#0", 5.0, 15.0), ("b#0", 20.0, 10.0)],
+          str([(s["name"], s["ts"], s["dur"]) for s in slices]))
+    check("perfetto instants and tracks",
+          any(e["name"] == "irq" and e["tid"] == 0 for e in instants)
+          and any(e["ph"] == "M" and e["args"]["name"] == "cpu0"
+                  for e in chrome["traceEvents"]))
+
+    # -- instrumented micro-run -> RunReport
+    from repro.experiments.runner import prototype_run_report
+
+    report = prototype_run_report(n_cpus=2, utilization=0.4, scale=1_000,
+                                  horizon_margin_s=12.0, label="self-check")
+    payload = report.to_dict()
+    required = ("sched_cycle_cycles", "queue_depth", "ipi_delivery_cycles",
+                "sync_lock_wait_cycles", "bus_window_utilization",
+                "icache_hit_rate")
+    missing = [name for name in required if name not in payload["metrics"]]
+    check("run report carries headline metrics", not missing,
+          f"missing={missing}" if missing else f"{len(payload['metrics'])} families")
+    sched = payload["metrics"].get("sched_cycle_cycles", {"series": []})
+    check("scheduler cycles observed",
+          sched["series"] and sched["series"][0]["count"] > 0)
+    depths = payload["metrics"].get("queue_depth", {"series": []})
+    cpus_covered = {row["labels"].get("cpu") for row in depths["series"]
+                    if row["labels"].get("queue") == "local"}
+    check("per-cpu queue depths present", cpus_covered == {"0", "1"},
+          f"cpus={sorted(cpus_covered)}")
+    check("report JSON parses back",
+          json.loads(report.to_json())["label"] == "self-check")
+
+    print(
+        f"self-check: {'PASS' if not failures else 'FAIL'} "
+        f"({len(failures)} failure(s))",
+        file=out,
+    )
+    return 0 if not failures else 1
+
+
+# --------------------------------------------------------------------- report
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import prototype_run_report
+    from repro.obs.sinks import JsonlFileSink
+    from repro.trace.recorder import TraceRecorder
+
+    if args.perfetto and not args.trace_jsonl:
+        print("--perfetto needs --trace-jsonl (the streamed events are "
+              "the converter's input)", file=sys.stderr)
+        return 1
+    trace = None
+    if args.trace_jsonl:
+        trace = TraceRecorder(sink=JsonlFileSink(args.trace_jsonl))
+    report = prototype_run_report(
+        n_cpus=args.cpus,
+        utilization=args.util,
+        scale=args.scale,
+        horizon_margin_s=args.horizon_margin,
+        trace=trace,
+    )
+    if args.perfetto:
+        from repro.obs.perfetto import write_chrome_trace
+        from repro.obs.sinks import trace_from_jsonl
+
+        write_chrome_trace(trace_from_jsonl(args.trace_jsonl), args.perfetto)
+    # Write artefacts before printing anything: a broken stdout pipe
+    # must not cost the run its report file.
+    if args.out:
+        report.write(args.out)
+    if args.prometheus:
+        print(report.summary())
+    if args.out:
+        print(f"run report written to {args.out}", file=sys.stderr)
+    else:
+        print(report.to_json())
+    return 0
+
+
+# -------------------------------------------------------------------- convert
+def _load_trace(path: str):
+    from repro.obs.sinks import trace_from_jsonl
+    from repro.trace.export import trace_from_csv, trace_from_json
+
+    if path.endswith(".jsonl"):
+        return trace_from_jsonl(path)
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".csv"):
+        return trace_from_csv(text)
+    return trace_from_json(text)
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.obs.sinks import event_to_dict
+    from repro.trace.export import trace_to_csv, trace_to_json
+    from repro.obs.perfetto import chrome_trace_json
+
+    try:
+        trace = _load_trace(args.trace)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.to == "perfetto":
+        text = chrome_trace_json(trace, clock_hz=args.clock_hz, indent=None) + "\n"
+    elif args.to == "json":
+        text = trace_to_json(trace, indent=2) + "\n"
+    elif args.to == "csv":
+        text = trace_to_csv(trace)
+    else:  # jsonl
+        text = "".join(
+            json.dumps(event_to_dict(e), separators=(",", ":")) + "\n"
+            for e in trace
+        )
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"{len(trace.events)} events -> {args.out} ({args.to})",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------------- main
+def build_parser() -> argparse.ArgumentParser:
+    from repro import CLOCK_HZ
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="observability: metrics registry snapshots, run reports, "
+        "trace sink/format conversion (Perfetto, JSONL, CSV, JSON)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="smoke-run the observability machinery on built-in fixtures and exit",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    report = commands.add_parser(
+        "report", help="run one instrumented prototype cell and emit its RunReport"
+    )
+    report.add_argument("--cpus", type=int, default=2)
+    report.add_argument("--util", type=float, default=0.5)
+    report.add_argument("--scale", type=int, default=1_000,
+                        help="workload time divisor (1 = full size)")
+    report.add_argument("--horizon-margin", type=float, default=17.0,
+                        help="seconds simulated past the aperiodic arrival")
+    report.add_argument("--out", default="",
+                        help="write the report JSON here (default: stdout)")
+    report.add_argument("--prometheus", action="store_true",
+                        help="also print a human summary of the metric families")
+    report.add_argument("--trace-jsonl", default="",
+                        help="stream the full trace to this JSONL file")
+    report.add_argument("--perfetto", default="",
+                        help="also convert the streamed trace to a Perfetto file")
+    report.set_defaults(func=_cmd_report)
+
+    convert = commands.add_parser(
+        "convert", help="re-encode a trace (json/csv/jsonl in) to "
+        "perfetto/json/csv/jsonl"
+    )
+    convert.add_argument("trace", help="input trace (.json, .csv or .jsonl)")
+    convert.add_argument("--to", choices=("perfetto", "json", "csv", "jsonl"),
+                         default="perfetto")
+    convert.add_argument("--out", default="", help="output file (default: stdout)")
+    convert.add_argument("--clock-hz", type=int, default=CLOCK_HZ,
+                         help="cycle clock for perfetto timestamps")
+    convert.set_defaults(func=_cmd_convert)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.self_check:
+        return self_check()
+    if not getattr(args, "command", None):
+        parser.print_help(sys.stderr)
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

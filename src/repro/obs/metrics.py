@@ -1,0 +1,274 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every instrument belongs to a *family* (one metric name, one type, one
+help string) and is addressed by an optional label set, so the same
+``queue_depth`` histogram can carry per-cpu series and the same
+``mpic_delivered_total`` counter can carry per-peripheral series::
+
+    registry = MetricsRegistry()
+    registry.counter("irqs_total", labels={"kind": "timer"}).inc()
+    registry.histogram("sched_cycle_cycles", buckets=SCHED_BUCKETS).observe(420)
+
+Design constraints, in order:
+
+- **Zero cost when absent.**  Components take ``metrics=None`` and
+  guard every observation with one ``is not None`` check; the hot
+  paths of an uninstrumented run never touch this module.
+- **Cheap when present.**  ``counter()``/``gauge()``/``histogram()``
+  return the instrument object; callers look it up once (at wiring
+  time) and then call bound methods (``inc``/``set``/``observe``)
+  with no dict lookup per event.
+- **Deterministic export.**  :meth:`MetricsRegistry.snapshot` renders
+  families and series in sorted order so two identical runs produce
+  byte-identical JSON / Prometheus text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+]
+
+#: Bucket upper bounds for cycle-latency histograms (log-ish spacing
+#: from a register access to a full scheduling tick).
+DEFAULT_CYCLE_BUCKETS = (
+    10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 1_000_000
+)
+
+#: Bucket upper bounds for queue-depth histograms.
+DEFAULT_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Mapping[str, Any]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(labels: LabelSet, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, utilization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-bucket export.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the overflow, so ``observe``
+    never loses a sample.
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "count",
+                 "minimum", "maximum")
+
+    def __init__(self, buckets: Sequence[float]):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs, Prometheus-style."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            text = str(int(bound)) if float(bound).is_integer() else str(bound)
+            pairs.append((text, running))
+        pairs.append(("+Inf", running + self.overflow))
+        return pairs
+
+
+class _Family:
+    """All series of one metric name (one type, shared histogram buckets)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.series: Dict[LabelSet, Any] = {}
+
+
+class MetricsRegistry:
+    """Names instruments, owns their storage, renders exports."""
+
+    def __init__(self):
+        self._families: Dict[str, _Family] = {}
+
+    # ----------------------------------------------------------- instruments
+    def counter(self, name: str, labels: Optional[Mapping[str, Any]] = None,
+                help: str = "") -> Counter:
+        return self._series(name, "counter", labels, help, Counter)
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, Any]] = None,
+              help: str = "") -> Gauge:
+        return self._series(name, "gauge", labels, help, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_CYCLE_BUCKETS,
+                  labels: Optional[Mapping[str, Any]] = None,
+                  help: str = "") -> Histogram:
+        family = self._family(name, "histogram", help, buckets=buckets)
+        if family.buckets != tuple(buckets):
+            raise ValueError(
+                f"{name}: histogram family registered with buckets "
+                f"{family.buckets}, got {tuple(buckets)}"
+            )
+        key = _labelset(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Histogram(buckets)
+        return series
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[Sequence[float]] = None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind, help_text, buckets)
+        elif family.kind != kind:
+            raise ValueError(
+                f"{name} already registered as {family.kind}, not {kind}"
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        return family
+
+    def _series(self, name: str, kind: str, labels, help_text: str, factory):
+        family = self._family(name, kind, help_text)
+        key = _labelset(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = factory()
+        return series
+
+    # ----------------------------------------------------------------- export
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view: ``{name: {type, help, series: [...]}}``."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series_rows = []
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                row: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    row.update(
+                        count=instrument.count,
+                        sum=instrument.total,
+                        mean=round(instrument.mean, 4),
+                        min=instrument.minimum,
+                        max=instrument.maximum,
+                        buckets={le: n for le, n in instrument.cumulative()},
+                    )
+                else:
+                    row["value"] = instrument.value
+                series_rows.append(row)
+            out[name] = {"type": family.kind, "help": family.help,
+                         "series": series_rows}
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus exposition format (text/plain version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                if family.kind == "histogram":
+                    for le, cum in instrument.cumulative():
+                        le_pair = 'le="%s"' % le
+                        lines.append(
+                            f"{name}_bucket{_label_text(key, le_pair)} {cum}"
+                        )
+                    lines.append(f"{name}_sum{_label_text(key)} {instrument.total}")
+                    lines.append(f"{name}_count{_label_text(key)} {instrument.count}")
+                else:
+                    value = instrument.value
+                    if isinstance(value, float) and value.is_integer():
+                        value = int(value)
+                    lines.append(f"{name}{_label_text(key)} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")

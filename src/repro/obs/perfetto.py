@@ -1,0 +1,142 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts a schedule trace into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+- every cpu becomes a track (pid 0 = "soc", tid = cpu index, named
+  ``cpu0`` ... ``cpuN``);
+- job execution is reconstructed from ``dispatch`` ->
+  ``preempt``/``finish``/``idle`` into complete-duration (``"X"``)
+  slices on the cpu's track;
+- ``irq``/``tick``/``acquire``/``unlock``/``barrier`` become
+  thread-scoped instant events on their cpu track;
+- cpu-less scheduler events (``release``/``promote``) land on a
+  dedicated ``scheduler`` track so job arrivals line up visually with
+  the execution slices they trigger.
+
+Timestamps are microseconds (the format's unit), converted from
+integer cycles at ``clock_hz`` (default: the 50 MHz prototype clock).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro import CLOCK_HZ
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+__all__ = ["trace_to_chrome", "chrome_trace_json", "write_chrome_trace"]
+
+#: Kinds rendered as instants on their cpu track.
+INSTANT_KINDS = ("irq", "tick", "promote", "release", "migrate",
+                 "acquire", "unlock", "barrier", "access")
+
+#: The pid all tracks live under.
+SOC_PID = 0
+#: Synthetic tid for cpu-less scheduler events.
+SCHEDULER_TID = 1_000
+
+
+def _meta(name: str, tid: int, value: str) -> Dict[str, Any]:
+    return {"ph": "M", "pid": SOC_PID, "tid": tid, "name": name,
+            "args": {"name": value}}
+
+
+def trace_to_chrome(
+    trace: Union[TraceRecorder, Iterable[TraceEvent]],
+    clock_hz: int = CLOCK_HZ,
+    horizon: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Render a trace as a Chrome trace-event dictionary.
+
+    ``horizon`` (cycles) closes any execution slice still open at the
+    end of the trace; it defaults to the last event time.
+    """
+    if clock_hz <= 0:
+        raise ValueError("clock_hz must be positive")
+    events = sorted(trace, key=lambda e: e.time)
+    scale = 1e6 / clock_hz  # cycles -> microseconds
+
+    out: List[Dict[str, Any]] = [_meta("process_name", 0, "soc")]
+    cpus = sorted({e.cpu for e in events if e.cpu is not None})
+    for cpu in cpus:
+        out.append(_meta("thread_name", cpu, f"cpu{cpu}"))
+    if any(e.cpu is None for e in events):
+        out.append(_meta("thread_name", SCHEDULER_TID, "scheduler"))
+
+    last = max((e.time for e in events), default=0)
+    end_of_trace = last if horizon is None else max(horizon, last)
+
+    open_run: Dict[int, TraceEvent] = {}
+
+    def close_slice(cpu: int, end: int) -> None:
+        started = open_run.pop(cpu, None)
+        if started is None or end <= started.time:
+            return
+        out.append({
+            "ph": "X",
+            "name": started.job or "?",
+            "cat": "exec",
+            "pid": SOC_PID,
+            "tid": cpu,
+            "ts": started.time * scale,
+            "dur": (end - started.time) * scale,
+            "args": {"start_cycle": started.time, "end_cycle": end},
+        })
+
+    for event in events:
+        if event.kind == "dispatch" and event.cpu is not None:
+            close_slice(event.cpu, event.time)
+            open_run[event.cpu] = event
+        elif event.kind in ("preempt", "finish", "idle") and event.cpu is not None:
+            close_slice(event.cpu, event.time)
+
+        if event.kind in INSTANT_KINDS:
+            tid = event.cpu if event.cpu is not None else SCHEDULER_TID
+            args: Dict[str, Any] = {"cycle": event.time}
+            if event.job:
+                args["job"] = event.job
+            if event.info:
+                args["info"] = event.info
+            name = event.kind if not event.job else f"{event.kind} {event.job}"
+            out.append({
+                "ph": "i",
+                "name": name,
+                "cat": event.kind,
+                "pid": SOC_PID,
+                "tid": tid,
+                "ts": event.time * scale,
+                "s": "t" if event.cpu is not None else "p",
+                "args": args,
+            })
+
+    for cpu in sorted(open_run):
+        close_slice(cpu, end_of_trace)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "metadata": {"clock_hz": clock_hz}}
+
+
+def chrome_trace_json(
+    trace: Union[TraceRecorder, Iterable[TraceEvent]],
+    clock_hz: int = CLOCK_HZ,
+    horizon: Optional[int] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """The exporter's JSON text (what ``repro-obs convert`` writes)."""
+    return json.dumps(trace_to_chrome(trace, clock_hz=clock_hz, horizon=horizon),
+                      indent=indent)
+
+
+def write_chrome_trace(
+    trace: Union[TraceRecorder, Iterable[TraceEvent]],
+    path: str,
+    clock_hz: int = CLOCK_HZ,
+    horizon: Optional[int] = None,
+) -> None:
+    """Write a Perfetto-loadable trace file."""
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(trace, clock_hz=clock_hz, horizon=horizon))
+        handle.write("\n")

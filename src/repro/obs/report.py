@@ -1,0 +1,161 @@
+"""Per-run observability artefacts (``RunReport``).
+
+A :class:`RunReport` is the JSON artefact an instrumented run leaves
+behind: the metrics-registry snapshot (scheduler-cycle latency,
+queue depths, IPI latency, lock wait/hold times, per-peripheral
+interrupt counts), kernel counters, bus utilization from the windowed
+monitor, instruction-cache and run-cache hit rates, and a compact
+trace summary.  ``experiments.runner.prototype_run_report`` builds
+one for a Figure-4-style cell; ``repro-obs report`` is the CLI front
+end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional
+
+from repro import __version__
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RunReport", "fold_bus_monitor", "fold_icaches", "fold_run_cache"]
+
+
+def fold_bus_monitor(metrics: MetricsRegistry, monitor, prefix: str = "bus") -> None:
+    """Fold a :class:`~repro.hw.monitor.BusMonitor`'s series into gauges
+    and a per-window utilization histogram."""
+    buckets = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    histogram = metrics.histogram(
+        f"{prefix}_window_utilization", buckets=buckets,
+        help="per-window OPB busy fraction",
+    )
+    for sample in monitor.samples:
+        histogram.observe(round(sample.utilization, 6))
+    metrics.gauge(f"{prefix}_peak_utilization",
+                  help="max windowed OPB utilization").set(
+        round(monitor.peak_utilization(), 6))
+    metrics.gauge(f"{prefix}_steady_state_utilization",
+                  help="mean OPB utilization after warm-up").set(
+        round(monitor.steady_state_utilization(), 6))
+
+
+def fold_icaches(metrics: MetricsRegistry, caches: Iterable) -> None:
+    """Per-cpu instruction-cache hit/miss counters and hit-rate gauges."""
+    for cache in caches:
+        labels = {"cpu": cache.cpu_id}
+        metrics.counter("icache_hits_total", labels=labels,
+                        help="instruction-cache hits").inc(cache.hits)
+        metrics.counter("icache_misses_total", labels=labels,
+                        help="instruction-cache misses").inc(cache.misses)
+        metrics.gauge("icache_hit_rate", labels=labels,
+                      help="instruction-cache hit fraction").set(
+            round(cache.hit_rate, 6))
+
+
+def fold_run_cache(metrics: MetricsRegistry, cache) -> None:
+    """Hit/miss accounting of a :class:`~repro.perf.cache.RunCache`."""
+    stats = cache.stats()
+    metrics.counter("run_cache_hits_total",
+                    help="experiment cells served from the run cache").inc(stats["hits"])
+    metrics.counter("run_cache_misses_total",
+                    help="experiment cells computed fresh").inc(stats["misses"])
+    metrics.gauge("run_cache_hit_rate",
+                  help="run-cache hit fraction").set(stats["hit_rate"])
+
+
+@dataclass
+class RunReport:
+    """One run's observability artefact."""
+
+    label: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    kernel: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    trace: Dict[str, Any] = field(default_factory=dict)
+    version: str = __version__
+
+    @classmethod
+    def build(
+        cls,
+        label: str,
+        registry: MetricsRegistry,
+        params: Optional[Dict[str, Any]] = None,
+        kernel_stats: Optional[Dict[str, Any]] = None,
+        trace=None,
+    ) -> "RunReport":
+        """Assemble a report from a registry and optional extras.
+
+        ``trace`` may be a :class:`~repro.trace.recorder.TraceRecorder`;
+        only a summary (event counts by kind, emitted/retained totals)
+        lands in the report -- full traces are exported separately
+        (JSONL sink, Perfetto converter).
+        """
+        trace_summary: Dict[str, Any] = {}
+        if trace is not None:
+            retained = trace.events
+            by_kind: Dict[str, int] = {}
+            for event in retained:
+                by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            # ``retained`` counts what is still queryable, which for a
+            # streaming sink is zero even though everything was written.
+            trace_summary = {
+                "emitted": trace.sink.emitted,
+                "retained": len(retained),
+                "by_kind": dict(sorted(by_kind.items())),
+            }
+        return cls(
+            label=label,
+            params=dict(params or {}),
+            kernel=dict(kernel_stats or {}),
+            metrics=registry.snapshot(),
+            trace=trace_summary,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "version": self.version,
+            "params": self.params,
+            "kernel": self.kernel,
+            "metrics": self.metrics,
+            "trace": self.trace,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    # ------------------------------------------------------------- convenience
+    def metric(self, name: str) -> Dict[str, Any]:
+        """One metric family from the snapshot (KeyError when absent)."""
+        return self.metrics[name]
+
+    def summary(self) -> str:
+        """A one-screen human rendering (used by the CLI)."""
+        lines = [f"run report: {self.label} (repro {self.version})"]
+        if self.params:
+            lines.append("  params : " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.params.items())))
+        if self.kernel:
+            lines.append("  kernel : " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.kernel.items())))
+        for name in sorted(self.metrics):
+            family = self.metrics[name]
+            for series in family["series"]:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+                label_text = f"{{{labels}}}" if labels else ""
+                if family["type"] == "histogram":
+                    value = (f"count={series['count']} mean={series['mean']}"
+                             f" max={series['max']}")
+                else:
+                    value = str(series["value"])
+                lines.append(f"  {name}{label_text}: {value}")
+        if self.trace:
+            lines.append(f"  trace  : {self.trace['emitted']} events emitted, "
+                         f"{self.trace['retained']} retained")
+        return "\n".join(lines)

@@ -176,6 +176,7 @@ def format_results(results: Dict[str, Any]) -> str:
         f"parallel[{fig4['workers']}] {fig4['parallel_s']} s  "
         f"speedup {fig4['speedup']}x  identical={fig4['identical']}",
         f"cache  : {cache['cells']} cells  cold {cache['cold_s']} s  "
-        f"warm {cache['warm_s']} s  {cache['hits']} hit(s) "
-        f"({cache['hit_rate']:.0%})  warm speedup {cache['warm_speedup']}x",
+        f"warm {cache['warm_s']} s  {cache['hits']} hit(s) / "
+        f"{cache['misses']} miss(es) ({cache['hit_rate']:.0%} hit rate)  "
+        f"warm speedup {cache['warm_speedup']}x",
     ])

@@ -98,6 +98,11 @@ def self_check(out=None) -> int:
         check("cached sweep: warm run skips the measure",
               cold_calls == 3 and len(calls) == 3 and warm.rows == cold.rows,
               f"cold_calls={cold_calls} warm_calls={len(calls) - cold_calls}")
+        check("cached sweep: summaries surface hit/miss stats",
+              cold.cache_stats == {"hits": 0, "misses": 3, "hit_rate": 0.0}
+              and warm.cache_stats == {"hits": 3, "misses": 0, "hit_rate": 1.0}
+              and "3 hit(s)" in warm.format(),
+              f"cold={cold.cache_stats} warm={warm.cache_stats}")
 
     # -- optimized event core: determinism and slotted events
     from repro.sim.engine import Simulator

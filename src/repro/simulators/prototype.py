@@ -95,6 +95,7 @@ class PrototypeSimulator:
         bindings: Optional[Dict[str, TaskBinding]] = None,
         aperiodic_arrivals: Optional[Dict[str, Sequence[int]]] = None,
         trace: Optional[TraceRecorder] = None,
+        metrics=None,
     ):
         self.config = config
         self.scale = config.scale
@@ -106,7 +107,8 @@ class PrototypeSimulator:
             tick_cycles=scaled_tick,
             chunk_cycles=min(config.chunk_cycles, max(100, scaled_tick // 10)),
         )
-        self.soc = SoC(soc_config)
+        self.metrics = metrics
+        self.soc = SoC(soc_config, metrics=metrics)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
 
         # Kernel constants and context footprints must shrink with the
@@ -127,6 +129,7 @@ class PrototypeSimulator:
             bindings=scaled_bindings,
             costs=config.costs.scaled(config.scale),
             trace=self.trace,
+            metrics=metrics,
         )
 
         merged: Dict[str, List[int]] = {

@@ -1,9 +1,10 @@
 """Trace recording, metrics extraction and ASCII Gantt rendering."""
 
-from repro.trace.recorder import TraceEvent, TraceRecorder
+from repro.trace.recorder import ListSink, TraceEvent, TraceRecorder, TraceSink
 from repro.trace.metrics import ResponseStats, ScheduleMetrics, compute_metrics
 from repro.trace.export import (
     metrics_to_json,
+    trace_from_csv,
     trace_from_json,
     trace_to_csv,
     trace_to_json,
@@ -13,6 +14,8 @@ from repro.trace.gantt import render_gantt
 __all__ = [
     "TraceRecorder",
     "TraceEvent",
+    "TraceSink",
+    "ListSink",
     "ScheduleMetrics",
     "ResponseStats",
     "compute_metrics",
@@ -20,5 +23,6 @@ __all__ = [
     "trace_to_json",
     "trace_from_json",
     "trace_to_csv",
+    "trace_from_csv",
     "metrics_to_json",
 ]

@@ -61,6 +61,33 @@ def trace_to_csv(trace: TraceRecorder) -> str:
     return buffer.getvalue()
 
 
+def trace_from_csv(text: str) -> TraceRecorder:
+    """Rebuild a trace from :func:`trace_to_csv` output.
+
+    Empty cells map back to ``None`` (the writer encodes absent
+    job/cpu/info as empty strings), so a JSON round-trip and a CSV
+    round-trip of the same trace are indistinguishable.
+    """
+    trace = TraceRecorder()
+    reader = csv.DictReader(io.StringIO(text))
+    expected = ["time", "kind", "job", "cpu", "info"]
+    if reader.fieldnames != expected:
+        raise ValueError(
+            f"not a trace CSV: header {reader.fieldnames} != {expected}"
+        )
+    for row in reader:
+        trace.events.append(
+            TraceEvent(
+                time=int(row["time"]),
+                kind=row["kind"],
+                job=row["job"] or None,
+                cpu=int(row["cpu"]) if row["cpu"] else None,
+                info=row["info"] or None,
+            )
+        )
+    return trace
+
+
 def metrics_to_dict(metrics: ScheduleMetrics) -> dict:
     """Metrics as a JSON-ready dictionary."""
     return {

@@ -17,13 +17,22 @@ kind            meaning
 ``switch``      context switch performed on a cpu
 ``idle``        cpu went idle
 ``acquire``     sync-engine lock granted (info ``lock=N``)
-``release``     sync-engine lock released (info ``lock=N``)
+``unlock``      sync-engine lock released (info ``lock=N``)
 ``barrier``     barrier arrival (info ``barrier=N width=W``)
 ``access``      shared-memory access (info ``addr=0x.. op=read|write``)
 ==============  =============================================
 
-The last four form the concurrency vocabulary consumed by the
+``release`` is exclusively the scheduler's job-release event;
+sync-engine lock releases are ``unlock`` (historically both were
+spelled ``release``, which made the two ambiguous in mixed traces).
+The last four kinds form the concurrency vocabulary consumed by the
 race/deadlock checker in :mod:`repro.lint.concurrency`.
+
+Where events go is pluggable: a :class:`TraceRecorder` writes through
+a *sink*.  The default :class:`ListSink` keeps the historical
+in-memory list; :mod:`repro.obs.sinks` adds a bounded ring buffer and
+a streaming JSONL file sink for full-horizon runs that must not hold
+O(events) memory.
 """
 
 from __future__ import annotations
@@ -61,18 +70,73 @@ KINDS = {
     "switch",
     "idle",
     "acquire",
-    "release",
+    "unlock",
     "barrier",
     "access",
 }
 
 
-class TraceRecorder:
-    """Append-only event log with simple queries."""
+class TraceSink:
+    """Destination for recorded events.
 
-    def __init__(self, enabled: bool = True):
-        self.enabled = enabled
+    Subclasses override :meth:`emit`; sinks that retain events for
+    querying also override :meth:`retained`.  Streaming sinks retain
+    nothing and report their write count through ``emitted``.
+    """
+
+    def __init__(self):
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def retained(self) -> List[TraceEvent]:
+        """Events still available for queries (may be a subset)."""
+        return []
+
+    def close(self) -> None:
+        """Release any underlying resource (no-op for memory sinks)."""
+
+    def __len__(self) -> int:
+        return self.emitted
+
+
+class ListSink(TraceSink):
+    """The historical unbounded in-memory event list."""
+
+    def __init__(self):
+        super().__init__()
         self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        self.events.append(event)
+
+    def retained(self) -> List[TraceEvent]:
+        return self.events
+
+    def __len__(self) -> int:
+        # Count the list, not ``emitted``: deserialisers append to
+        # ``recorder.events`` directly and both views must agree.
+        return len(self.events)
+
+
+class TraceRecorder:
+    """Append-only event log writing through a pluggable sink."""
+
+    def __init__(self, enabled: bool = True, sink: Optional[TraceSink] = None):
+        self.enabled = enabled
+        self.sink = sink if sink is not None else ListSink()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Queryable events (the sink's retained view).
+
+        For the default :class:`ListSink` this is the backing list
+        itself, so existing ``trace.events.append(...)`` callers keep
+        working; bounded/streaming sinks return what they retain.
+        """
+        return self.sink.retained()
 
     def record(
         self,
@@ -86,11 +150,15 @@ class TraceRecorder:
             return
         if kind not in KINDS:
             raise ValueError(f"unknown trace kind {kind!r}")
-        self.events.append(TraceEvent(time=time, kind=kind, job=job, cpu=cpu, info=info))
+        self.sink.emit(TraceEvent(time=time, kind=kind, job=job, cpu=cpu, info=info))
+
+    def close(self) -> None:
+        """Flush/close the sink (needed for file-backed sinks)."""
+        self.sink.close()
 
     # ------------------------------------------------------------------ queries
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.sink)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
@@ -111,11 +179,12 @@ class TraceRecorder:
         interval at the end of the trace is closed at ``horizon`` (or
         the last event time).
         """
-        last = max((e.time for e in self.events), default=0)
+        events = self.events
+        last = max((e.time for e in events), default=0)
         horizon = horizon if horizon is not None else last
         open_run: Dict[int, tuple] = {}
         intervals: Dict[int, List[tuple]] = {}
-        for event in self.events:
+        for event in events:
             if event.kind == "dispatch" and event.cpu is not None:
                 if event.cpu in open_run:
                     start, job = open_run.pop(event.cpu)

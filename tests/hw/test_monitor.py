@@ -94,6 +94,69 @@ def test_validation():
         monitor.start()
 
 
+def test_utilization_series_matches_samples():
+    sim, bus = busy_system()
+    monitor = BusMonitor(sim, bus, window=1_000)
+    monitor.start()
+    sim.run(until=10_000)
+    series = monitor.utilization_series()
+    assert series == [s.utilization for s in monitor.samples]
+    assert monitor.peak_utilization() == max(series)
+
+
+def test_steady_state_skips_warmup_windows():
+    sim, bus = busy_system()
+    monitor = BusMonitor(sim, bus, window=1_000)
+    monitor.start()
+    sim.run(until=10_000)
+    series = monitor.utilization_series()
+    assert monitor.steady_state_utilization() == pytest.approx(
+        sum(series[1:]) / len(series[1:])
+    )
+    assert monitor.steady_state_utilization(skip=3) == pytest.approx(
+        sum(series[3:]) / len(series[3:])
+    )
+    # skipping every sample degenerates to 0.0, not a ZeroDivisionError
+    assert monitor.steady_state_utilization(skip=len(series)) == 0.0
+
+
+def test_peak_on_empty_monitor_is_zero():
+    sim = Simulator()
+    bus = OPBBus(sim)
+    monitor = BusMonitor(sim, bus, window=100)
+    assert monitor.peak_utilization() == 0.0
+    assert monitor.utilization_series() == []
+
+
+def test_fold_into_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    sim, bus = busy_system()
+    monitor = BusMonitor(sim, bus, window=1_000)
+    monitor.start()
+    sim.run(until=10_000)
+    registry = MetricsRegistry()
+    monitor.fold_into(registry)
+    snap = registry.snapshot()
+    assert snap["bus_window_utilization"]["series"][0]["count"] == len(monitor.samples)
+    assert snap["bus_peak_utilization"]["series"][0]["value"] == pytest.approx(
+        monitor.peak_utilization(), abs=1e-6)
+    assert snap["bus_steady_state_utilization"]["series"][0]["value"] == pytest.approx(
+        monitor.steady_state_utilization(), abs=1e-6)
+
+
+def test_fold_into_custom_prefix():
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator()
+    bus = OPBBus(sim)
+    monitor = BusMonitor(sim, bus, window=100)
+    registry = MetricsRegistry()
+    monitor.fold_into(registry, prefix="opb")
+    assert "opb_peak_utilization" in registry
+    assert "bus_peak_utilization" not in registry
+
+
 def test_mean_wait_per_sample():
     sample = BusSample(start=0, end=100, busy_cycles=50, transactions=5, wait_cycles=20)
     assert sample.mean_wait == 4.0

@@ -98,7 +98,7 @@ class TestTraceCommand:
         trace = TraceRecorder()
         trace.record(0, "acquire", cpu=0, info="lock=1")
         trace.record(1, "access", cpu=0, info="addr=0x40010000 op=write")
-        trace.record(2, "release", cpu=0, info="lock=1")
+        trace.record(2, "unlock", cpu=0, info="lock=1")
         path = write(tmp_path, "ok.json", trace_to_json(trace))
         assert main(["trace", path]) == 0
 

@@ -64,10 +64,10 @@ class TestRaceDetection:
             trace_of(
                 (0, "acquire", 0, "lock=2"),
                 (1, "access", 0, "addr=0x40010000 op=write"),
-                (2, "release", 0, "lock=2"),
+                (2, "unlock", 0, "lock=2"),
                 (10, "acquire", 1, "lock=2"),
                 (11, "access", 1, "addr=0x40010000 op=write"),
-                (12, "release", 1, "lock=2"),
+                (12, "unlock", 1, "lock=2"),
             )
         )
         assert report.clean
@@ -77,10 +77,10 @@ class TestRaceDetection:
             trace_of(
                 (0, "acquire", 0, "lock=1"),
                 (1, "access", 0, "addr=0x40010000 op=write"),
-                (2, "release", 0, "lock=1"),
+                (2, "unlock", 0, "lock=1"),
                 (10, "acquire", 1, "lock=2"),
                 (11, "access", 1, "addr=0x40010000 op=write"),
-                (12, "release", 1, "lock=2"),
+                (12, "unlock", 1, "lock=2"),
             )
         )
         assert report.by_rule("RACE001")
@@ -91,7 +91,7 @@ class TestRaceDetection:
         assert leak and report.ok  # warning only
 
     def test_race003_release_without_acquire(self):
-        report = lint_trace(trace_of((0, "release", 0, "lock=3")))
+        report = lint_trace(trace_of((0, "unlock", 0, "lock=3")))
         assert report.by_rule("RACE003")
 
     def test_race003_reacquire_held_lock(self):
@@ -112,12 +112,12 @@ class TestDeadlockDetection:
             trace_of(
                 (0, "acquire", 0, "lock=0"),
                 (1, "acquire", 0, "lock=1"),
-                (2, "release", 0, "lock=1"),
-                (3, "release", 0, "lock=0"),
+                (2, "unlock", 0, "lock=1"),
+                (3, "unlock", 0, "lock=0"),
                 (4, "acquire", 1, "lock=1"),
                 (5, "acquire", 1, "lock=0"),
-                (6, "release", 1, "lock=0"),
-                (7, "release", 1, "lock=1"),
+                (6, "unlock", 1, "lock=0"),
+                (7, "unlock", 1, "lock=1"),
             )
         )
         cycle = report.by_rule("DEAD001")
@@ -129,12 +129,12 @@ class TestDeadlockDetection:
             trace_of(
                 (0, "acquire", 0, "lock=0"),
                 (1, "acquire", 0, "lock=1"),
-                (2, "release", 0, "lock=1"),
-                (3, "release", 0, "lock=0"),
+                (2, "unlock", 0, "lock=1"),
+                (3, "unlock", 0, "lock=0"),
                 (4, "acquire", 1, "lock=0"),
                 (5, "acquire", 1, "lock=1"),
-                (6, "release", 1, "lock=1"),
-                (7, "release", 1, "lock=0"),
+                (6, "unlock", 1, "lock=1"),
+                (7, "unlock", 1, "lock=0"),
             )
         )
         assert report.clean
@@ -158,6 +158,20 @@ class TestDeadlockDetection:
         trace.record(0, "dispatch", cpu=0, job="wheel-speed#0")
         trace.record(10, "finish", cpu=0, job="wheel-speed#0")
         assert lint_trace(trace).clean
+
+    def test_legacy_release_with_lock_payload_still_accepted(self):
+        """Old traces spelled lock releases ``release lock=N``."""
+        report = lint_trace(
+            trace_of(
+                (0, "acquire", 0, "lock=2"),
+                (1, "access", 0, "addr=0x40010000 op=write"),
+                (2, "release", 0, "lock=2"),
+                (10, "acquire", 1, "lock=2"),
+                (11, "access", 1, "addr=0x40010000 op=write"),
+                (12, "release", 1, "lock=2"),
+            )
+        )
+        assert report.clean
 
 
 # ------------------------------------------------------------- integration
@@ -189,9 +203,9 @@ class TestEmissionIntegration:
         kinds = [(e.kind, e.cpu) for e in trace]
         assert kinds == [
             ("acquire", 0),
-            ("release", 0),
+            ("unlock", 0),
             ("acquire", 1),
-            ("release", 1),
+            ("unlock", 1),
         ]
         assert lint_trace(trace).clean
 

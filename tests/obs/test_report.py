@@ -1,0 +1,185 @@
+"""RunReport assembly, fold helpers, and the instrumented prototype run."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    RunReport,
+    fold_bus_monitor,
+    fold_icaches,
+    fold_run_cache,
+)
+from repro.trace.recorder import TraceRecorder
+
+pytestmark = pytest.mark.obs
+
+
+class FakeMonitor:
+    """Duck-typed stand-in for BusMonitor (samples + summary views)."""
+
+    class Sample:
+        def __init__(self, utilization):
+            self.utilization = utilization
+
+    def __init__(self, series):
+        self.samples = [self.Sample(u) for u in series]
+
+    def peak_utilization(self):
+        return max((s.utilization for s in self.samples), default=0.0)
+
+    def steady_state_utilization(self, skip=1):
+        tail = self.samples[skip:]
+        return sum(s.utilization for s in tail) / len(tail) if tail else 0.0
+
+
+class FakeICache:
+    def __init__(self, cpu_id, hits, misses):
+        self.cpu_id = cpu_id
+        self.hits = hits
+        self.misses = misses
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FakeRunCache:
+    def stats(self):
+        return {"hits": 3, "misses": 1, "hit_rate": 0.75}
+
+
+class TestFoldHelpers:
+    def test_fold_bus_monitor(self):
+        registry = MetricsRegistry()
+        fold_bus_monitor(registry, FakeMonitor([0.2, 0.6, 0.8]))
+        snap = registry.snapshot()
+        assert snap["bus_window_utilization"]["series"][0]["count"] == 3
+        assert snap["bus_peak_utilization"]["series"][0]["value"] == 0.8
+        assert snap["bus_steady_state_utilization"]["series"][0]["value"] == pytest.approx(0.7)
+
+    def test_fold_icaches_per_cpu(self):
+        registry = MetricsRegistry()
+        fold_icaches(registry, [FakeICache(0, 90, 10), FakeICache(1, 40, 60)])
+        snap = registry.snapshot()
+        rates = {row["labels"]["cpu"]: row["value"]
+                 for row in snap["icache_hit_rate"]["series"]}
+        assert rates == {"0": 0.9, "1": 0.4}
+        hits = {row["labels"]["cpu"]: row["value"]
+                for row in snap["icache_hits_total"]["series"]}
+        assert hits == {"0": 90, "1": 40}
+
+    def test_fold_run_cache(self):
+        registry = MetricsRegistry()
+        fold_run_cache(registry, FakeRunCache())
+        snap = registry.snapshot()
+        assert snap["run_cache_hits_total"]["series"][0]["value"] == 3
+        assert snap["run_cache_misses_total"]["series"][0]["value"] == 1
+        assert snap["run_cache_hit_rate"]["series"][0]["value"] == 0.75
+
+
+class TestRunReport:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("context_switches_total").inc(7)
+        trace = TraceRecorder()
+        trace.record(0, "release", job="a#0")
+        trace.record(5, "dispatch", job="a#0", cpu=0)
+        trace.record(9, "finish", job="a#0", cpu=0)
+        return RunReport.build(
+            label="unit", registry=registry,
+            params={"n_cpus": 2}, kernel_stats={"ticks": 4}, trace=trace,
+        )
+
+    def test_sections(self):
+        report = self.build()
+        assert report.label == "unit"
+        assert report.params == {"n_cpus": 2}
+        assert report.kernel == {"ticks": 4}
+        assert report.metric("context_switches_total")["series"][0]["value"] == 7
+        assert report.trace == {
+            "emitted": 3,
+            "retained": 3,
+            "by_kind": {"dispatch": 1, "finish": 1, "release": 1},
+        }
+
+    def test_json_round_trip_and_write(self, tmp_path):
+        report = self.build()
+        parsed = json.loads(report.to_json())
+        assert parsed["label"] == "unit"
+        path = tmp_path / "report.json"
+        report.write(str(path))
+        assert json.loads(path.read_text()) == report.to_dict()
+
+    def test_summary_renders(self):
+        text = self.build().summary()
+        assert "run report: unit" in text
+        assert "context_switches_total: 7" in text
+        assert "3 events emitted" in text
+
+    def test_metric_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.build().metric("nope")
+
+
+@pytest.mark.slow
+class TestInstrumentedPrototypeRun:
+    """Acceptance: a Figure-4-style run with observability enabled."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments.runner import prototype_run_report
+
+        return prototype_run_report(n_cpus=2, utilization=0.5, scale=1_000,
+                                    horizon_margin_s=12.0)
+
+    def test_headline_metric_families_present(self, report):
+        for name in (
+            "sched_cycle_cycles",       # scheduler-cycle latency histogram
+            "queue_depth",              # per-cpu queue depths
+            "ipi_delivery_cycles",      # IPI delivery latency
+            "mpic_delivery_cycles",
+            "mpic_delivered_total",     # per-peripheral distribution
+            "sync_lock_wait_cycles",    # lock wait times
+            "sync_lock_hold_cycles",
+            "bus_window_utilization",   # bus contention
+            "bus_peak_utilization",
+            "icache_hit_rate",          # cache hit rates
+            "context_switches_total",
+            "kernel_irqs_total",
+            "aperiodic_response_s",
+            "deadline_misses",
+        ):
+            assert name in report.metrics, name
+
+    def test_scheduler_cycles_observed(self, report):
+        series = report.metric("sched_cycle_cycles")["series"][0]
+        assert series["count"] > 0
+        assert series["min"] >= 0
+
+    def test_queue_depths_cover_every_cpu(self, report):
+        rows = report.metric("queue_depth")["series"]
+        local_cpus = {row["labels"]["cpu"] for row in rows
+                      if row["labels"]["queue"] == "local"}
+        assert local_cpus == {"0", "1"}
+        queues = {row["labels"]["queue"] for row in rows}
+        assert {"periodic_ready", "aperiodic_ready", "local"} <= queues
+
+    def test_ipi_and_lock_metrics_observed(self, report):
+        assert report.metric("ipi_delivery_cycles")["series"][0]["count"] > 0
+        assert report.metric("sync_lock_wait_cycles")["series"][0]["count"] > 0
+
+    def test_bus_utilization_sampled(self, report):
+        assert report.metric("bus_window_utilization")["series"][0]["count"] > 0
+        peak = report.metric("bus_peak_utilization")["series"][0]["value"]
+        assert 0.0 <= peak <= 1.0
+
+    def test_trace_summary_bounded_by_ring(self, report):
+        assert report.trace["emitted"] >= report.trace["retained"]
+        assert report.trace["retained"] <= 65_536
+
+    def test_kernel_stats_and_params_recorded(self, report):
+        assert report.params["n_cpus"] == 2
+        assert "context_switches" in report.kernel

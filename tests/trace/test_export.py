@@ -2,10 +2,13 @@
 
 import json
 
+import pytest
+
 from repro.core.task import Job, PeriodicTask
 from repro.trace.export import (
     metrics_to_dict,
     metrics_to_json,
+    trace_from_csv,
     trace_from_json,
     trace_to_csv,
     trace_to_dicts,
@@ -41,6 +44,30 @@ def test_csv_has_header_and_rows():
     assert lines[0] == "time,kind,job,cpu,info"
     assert len(lines) == 4
     assert "finish" in lines[3]
+
+
+def test_csv_roundtrip():
+    trace = sample_trace()
+    rebuilt = trace_from_csv(trace_to_csv(trace))
+    assert trace_to_dicts(rebuilt) == trace_to_dicts(trace)
+
+
+def test_csv_roundtrip_matches_json_roundtrip():
+    # Empty cells must map back to None, exactly as JSON null does.
+    trace = TraceRecorder()
+    trace.record(0, "tick", cpu=0)          # no job, no info
+    trace.record(3, "release", job="a#0")   # no cpu
+    trace.record(7, "irq", cpu=1, info="timer")
+    via_csv = trace_from_csv(trace_to_csv(trace))
+    via_json = trace_from_json(trace_to_json(trace))
+    assert trace_to_dicts(via_csv) == trace_to_dicts(via_json)
+    assert via_csv.events[0].job is None
+    assert via_csv.events[1].cpu is None
+
+
+def test_csv_rejects_foreign_header():
+    with pytest.raises(ValueError):
+        trace_from_csv("a,b,c\n1,2,3\n")
 
 
 def test_metrics_export():
