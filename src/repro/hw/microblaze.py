@@ -66,6 +66,15 @@ class ExecutionProfile:
 #: Default profile for code that was not characterised.
 DEFAULT_PROFILE = ExecutionProfile(access_period=120, access_words=4)
 
+#: Adaptive chunking expands an execution slice at most this many times
+#: past ``chunk_cycles``.  A slice issues its shared-memory traffic in
+#: one burst, so an unbounded slice (up to a whole 5M-cycle tick) would
+#: serialise bus contention into long quiet stretches punctuated by
+#: bursts and distort the slowdown the model exists to measure; 8x
+#: keeps the contention granularity close to the fixed stride while
+#: cutting per-tick wake-ups by the same factor.
+ADAPTIVE_CAP_MULT = 8
+
 
 class SegmentResult:
     """Progress report for an (possibly interrupted) execute() call."""
@@ -99,6 +108,15 @@ class MicroBlaze:
         self.local_mem = local_mem or LocalBRAM(cpu_id)
         self.icache = icache or DirectMappedICache(cpu_id)
         self.chunk_cycles = chunk_cycles
+        #: Optional callable returning the absolute cycle of the next
+        #: known preemption point (the SoC wires it to the system
+        #: timer's ``next_tick``).  When set, :meth:`execute` expands
+        #: its slice up to that boundary instead of stepping in fixed
+        #: ``chunk_cycles`` strides -- promotions are tick-granular and
+        #: asynchronous IRQs interrupt a slice mid-flight anyway, so
+        #: the coarser stride only removes wake-ups, never preemption
+        #: opportunities.
+        self.preemption_hint: Optional[Callable[[], Optional[int]]] = None
 
         # Interrupt input (single line, like the real MicroBlaze).
         self.interrupts_enabled = True
@@ -178,6 +196,22 @@ class MicroBlaze:
         remaining = nominal_cycles
         while remaining > 0:
             chunk = min(self.chunk_cycles, remaining)
+            hint = self.preemption_hint
+            if hint is not None and not self.line_asserted:
+                boundary = hint()
+                if boundary is not None:
+                    # Adaptive chunking: no scheduler event can land
+                    # before ``boundary``, so run up to it, capped at
+                    # ADAPTIVE_CAP_MULT strides to keep bus-contention
+                    # granularity (an asserted line or an async IRQ
+                    # still preempts the slice through the except path
+                    # below).
+                    headroom = boundary - self.sim.now
+                    cap = self.chunk_cycles * ADAPTIVE_CAP_MULT
+                    if headroom > cap:
+                        headroom = cap
+                    if headroom > chunk:
+                        chunk = headroom if headroom < remaining else remaining
             exact = chunk / profile.access_period + self._access_residue
             n_txn = int(exact)
             self._access_residue = exact - n_txn

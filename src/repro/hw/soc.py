@@ -44,6 +44,11 @@ class SoCConfig:
     local_mem_bytes: int = 64 * 1024
     ddr_bytes: int = 16 * 1024 * 1024
     chunk_cycles: int = 2_000
+    #: When True (the default), cores expand execution slices up to the
+    #: system timer's next tick (see ``MicroBlaze.preemption_hint``)
+    #: instead of stepping in fixed ``chunk_cycles`` strides.  Set
+    #: False to reproduce the fixed-stride bus-interleaving granularity.
+    adaptive_chunking: bool = True
 
     def __post_init__(self):
         if self.n_cpus < 1:
@@ -95,6 +100,10 @@ class SoC:
         self.timer = SystemTimer(
             self.sim, self.intc, period=config.tick_cycles, name="system-timer"
         )
+        if config.adaptive_chunking:
+            timer = self.timer
+            for core in self.cores:
+                core.preemption_hint = lambda: timer.next_tick
         self.peripherals: Dict[str, CANInterface] = {}
 
     # -------------------------------------------------------------- builders

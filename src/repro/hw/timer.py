@@ -34,6 +34,11 @@ class SystemTimer:
         self.period = period
         self.ticks = 0
         self._running = False
+        #: Absolute cycle of the next pending tick (None while stopped).
+        #: Cores use this as the adaptive-chunking preemption hint: no
+        #: scheduler-driven preemption can land before the next tick,
+        #: so an execution slice may safely extend up to it.
+        self.next_tick: Optional[int] = None
         self.source = intc.add_source(name, mode=mode)
 
     def start(self, first_tick: Optional[int] = None) -> None:
@@ -43,15 +48,19 @@ class SystemTimer:
             raise RuntimeError("timer already running")
         self._running = True
         delay = self.period if first_tick is None else max(0, first_tick - self.sim.now)
+        self.next_tick = self.sim.now + delay
         self.sim.schedule(delay, self._tick)
 
     def stop(self) -> None:
         """Stop after the current tick (pending tick is suppressed)."""
         self._running = False
+        self.next_tick = None
 
     def _tick(self) -> None:
         if not self._running:
+            self.next_tick = None
             return
         self.ticks += 1
+        self.next_tick = self.sim.now + self.period
         self.intc.raise_interrupt(self.source, payload={"kind": "timer", "tick": self.ticks})
         self.sim.schedule(self.period, self._tick)

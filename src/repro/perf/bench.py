@@ -142,10 +142,18 @@ def run_benchmarks(
     out: Optional[str] = BENCH_FILE,
     workers: Optional[int] = None,
     quick: bool = False,
+    engine_only: bool = False,
 ) -> Dict[str, Any]:
-    """Run every section and (optionally) write ``BENCH_perf.json``."""
+    """Run every section and (optionally) write ``BENCH_perf.json``.
+
+    ``engine_only`` runs just the pure discrete-event micro-benchmark
+    (seconds instead of minutes) -- the mode the engine regression
+    gate in ``benchmarks/test_bench_engine.py`` and quick development
+    loops use.  Engine-only results should not be written over a full
+    ``BENCH_perf.json`` (the CLI defaults to not writing in that mode).
+    """
     utilizations = (0.40, 0.50) if quick else (0.40, 0.50, 0.60)
-    results = {
+    results: Dict[str, Any] = {
         "version": __version__,
         "host": {
             "cpus": os.cpu_count(),
@@ -153,9 +161,11 @@ def run_benchmarks(
             "python": platform.python_version(),
         },
         "engine": bench_engine(n_processes=100 if quick else 300),
-        "figure4": bench_figure4(workers=workers, utilizations=utilizations),
-        "cache": bench_cache(utilizations=utilizations[:2]),
     }
+    if not engine_only:
+        results["figure4"] = bench_figure4(workers=workers,
+                                           utilizations=utilizations)
+        results["cache"] = bench_cache(utilizations=utilizations[:2])
     if out:
         with open(out, "w") as handle:
             json.dump(results, handle, indent=2)
@@ -166,17 +176,24 @@ def run_benchmarks(
 def format_results(results: Dict[str, Any]) -> str:
     """Human-readable one-screen rendering of a results dict."""
     engine = results["engine"]
-    fig4 = results["figure4"]
-    cache = results["cache"]
-    return "\n".join([
+    lines = [
         f"repro-perf {results['version']} on {results['host']['cpus']} cpu(s)",
         f"engine : {engine['events']} events in {engine['elapsed_s']} s "
         f"({engine['events_per_s']} events/s)",
-        f"figure4: {fig4['cells']} cells  serial {fig4['serial_s']} s  "
-        f"parallel[{fig4['workers']}] {fig4['parallel_s']} s  "
-        f"speedup {fig4['speedup']}x  identical={fig4['identical']}",
-        f"cache  : {cache['cells']} cells  cold {cache['cold_s']} s  "
-        f"warm {cache['warm_s']} s  {cache['hits']} hit(s) / "
-        f"{cache['misses']} miss(es) ({cache['hit_rate']:.0%} hit rate)  "
-        f"warm speedup {cache['warm_speedup']}x",
-    ])
+    ]
+    if "figure4" in results:
+        fig4 = results["figure4"]
+        lines.append(
+            f"figure4: {fig4['cells']} cells  serial {fig4['serial_s']} s  "
+            f"parallel[{fig4['workers']}] {fig4['parallel_s']} s  "
+            f"speedup {fig4['speedup']}x  identical={fig4['identical']}"
+        )
+    if "cache" in results:
+        cache = results["cache"]
+        lines.append(
+            f"cache  : {cache['cells']} cells  cold {cache['cold_s']} s  "
+            f"warm {cache['warm_s']} s  {cache['hits']} hit(s) / "
+            f"{cache['misses']} miss(es) ({cache['hit_rate']:.0%} hit rate)  "
+            f"warm speedup {cache['warm_speedup']}x"
+        )
+    return "\n".join(lines)

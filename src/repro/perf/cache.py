@@ -117,6 +117,12 @@ class RunCache:
         except (OSError, json.JSONDecodeError):
             self.misses += 1
             return False, None
+        try:
+            # Touch the entry so LRU eviction (see :meth:`gc`) ranks it
+            # as recently used; best-effort on read-only mounts.
+            os.utime(path)
+        except OSError:
+            pass
         self.hits += 1
         return True, entry["value"]
 
@@ -141,6 +147,82 @@ class RunCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def disk_usage(self) -> int:
+        """Total bytes held by cache entries (excludes directories)."""
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Evict least-recently-used entries until under the limits.
+
+        Entries are ranked by mtime (refreshed on every hit, so mtime
+        is last *use*, not last write).  Orphaned temporary files from
+        crashed runs are always removed.  With no limits given this is
+        a pure report plus tmp-file cleanup.  Returns a summary dict.
+        """
+        entries = []
+        removed_tmp = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*"):
+                name = path.name
+                if name.endswith(".json"):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path))
+                elif ".tmp." in name:
+                    try:
+                        path.unlink()
+                        removed_tmp += 1
+                    except OSError:
+                        pass
+        entries.sort()  # oldest use first
+        total_bytes = sum(size for _, size, _ in entries)
+        bytes_before, entries_before = total_bytes, len(entries)
+        evicted = 0
+        remaining = len(entries)
+        for mtime, size, path in entries:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_count = max_entries is not None and remaining > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            remaining -= 1
+            total_bytes -= size
+        # Drop fan-out directories emptied by the eviction.
+        if evicted and self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir():
+                    try:
+                        sub.rmdir()  # fails (harmlessly) unless empty
+                    except OSError:
+                        pass
+        return {
+            "entries_before": entries_before,
+            "entries_after": remaining,
+            "bytes_before": bytes_before,
+            "bytes_after": total_bytes,
+            "evicted": evicted,
+            "removed_tmp": removed_tmp,
+            "root": str(self.root),
+        }
 
     @property
     def hit_rate(self) -> float:

@@ -1,16 +1,24 @@
 """``repro-perf``: the performance-harness front end.
 
-Two modes, mirroring ``repro-lint``::
+Three modes, mirroring ``repro-lint``::
 
     repro-perf bench [--out BENCH_perf.json] [--workers N] [--quick]
+                     [--engine-only]
+    repro-perf cache [--gc] [--max-mb MB] [--max-entries N] [--dir PATH]
     repro-perf --self-check
 
 ``bench`` times representative experiment cells serial-vs-parallel and
 cold-vs-warm cache and writes ``BENCH_perf.json`` (see docs/PERF.md
-for how to read it).  ``--self-check`` smoke-runs the executor, the
-run cache, the cached sweep path and the optimized simulation core
-against built-in fixtures in a few seconds -- no long timings -- and
-is part of the CI tier.
+for how to read it); ``--engine-only`` runs just the event-core
+micro-benchmark in seconds and writes nothing by default.  ``cache``
+reports on-disk run-cache usage and, with ``--gc``, evicts
+least-recently-used entries down to the given limits.  ``--self-check``
+smoke-runs the executor, the run cache, the cached sweep path and the
+simulation core against built-in fixtures in a few seconds -- no long
+timings -- and is part of the CI tier; it includes the determinism
+sentinel replaying one full kernel-on-SoC workload on both the bucket
+and the reference heap event queue and requiring bit-for-bit identical
+finished jobs, traces and stats.
 
 Exit status: 0 on success, 1 on any failure.
 """
@@ -25,6 +33,56 @@ from typing import List, Optional
 
 def _square(x: int) -> int:  # module-level: picklable for the pool
     return x * x
+
+
+def _sentinel_run(queue_kind: str) -> tuple:
+    """One full kernel-on-SoC workload on the given event queue.
+
+    Exercises every engine path the experiments rely on: short
+    timeouts (bucketed), whole-tick delays (far-heap overflow), timer
+    IRQs, an aperiodic CAN release, IPIs, preemptions and idle
+    fast-forward.  Returns hashable summaries of the schedule so the
+    caller can compare queue implementations bit for bit.
+    """
+    from repro.sim.engine import Simulator
+
+    previous = Simulator.DEFAULT_QUEUE
+    Simulator.DEFAULT_QUEUE = queue_kind
+    try:
+        from repro.analysis import assign_promotions, partition
+        from repro.core.task import AperiodicTask, PeriodicTask, TaskSet
+        from repro.hw.soc import SoC, SoCConfig
+        from repro.kernel import DualPriorityMicrokernel
+        from repro.trace import TraceRecorder
+
+        tasks = [
+            PeriodicTask(name="a", wcet=8_000, period=80_000),
+            PeriodicTask(name="b", wcet=12_000, period=120_000),
+            PeriodicTask(name="c", wcet=6_000, period=60_000),
+            PeriodicTask(name="tight", wcet=9_000, period=100_000,
+                         deadline=40_000),
+        ]
+        taskset = TaskSet(
+            tasks, [AperiodicTask(name="evt", wcet=8_000)]
+        ).with_deadline_monotonic_priorities()
+        taskset = partition(taskset, 2)
+        taskset = assign_promotions(taskset, 2, tick=20_000)
+
+        soc = SoC(SoCConfig(n_cpus=2, tick_cycles=20_000, chunk_cycles=1_000))
+        trace = TraceRecorder()
+        kernel = DualPriorityMicrokernel(soc, taskset, trace=trace)
+        soc.add_can_interface("can0", task_name="evt")
+        soc.peripherals["can0"].program_frames([150_000, 260_000])
+        kernel.run(until=400_000)
+
+        jobs = tuple(
+            (j.task.name, j.index, j.release, j.start_time, j.finish_time,
+             j.cpu, j.preemptions, j.migrations, j.remaining)
+            for j in kernel.finished_jobs
+        )
+        return jobs, tuple(trace.events), kernel.stats(), soc.sim.now
+    finally:
+        Simulator.DEFAULT_QUEUE = previous
 
 
 def self_check(out=None) -> int:
@@ -140,6 +198,50 @@ def self_check(out=None) -> int:
           not hasattr(Event(Simulator()), "__dict__")
           and not hasattr(Timeout(Simulator(), 1), "__dict__"))
 
+    # -- bucket queue vs reference heap: ordering invariants
+    from repro.sim.engine import BUCKET_HORIZON
+
+    def tie_trace(kind: str) -> list:
+        sim = Simulator(queue=kind)
+        log: list = []
+        # Same-instant entries across the bucket/far boundary, pushed
+        # in interleaved order: replay must preserve insertion order.
+        for i in range(6):
+            delay = BUCKET_HORIZON + 7 if i % 2 else 7
+            sim.schedule(delay, lambda i=i: log.append((sim.now, i)))
+        sim.schedule(BUCKET_HORIZON + 7,
+                     lambda: log.append((sim.now, "late-push")))
+        sim.run()
+        return log
+
+    check("bucket queue preserves insertion-order ties vs heap",
+          tie_trace("bucket") == tie_trace("heap"),
+          f"{tie_trace('bucket')}")
+
+    def idle_gap(kind: str) -> tuple:
+        sim = Simulator(queue=kind)
+        seen: list = []
+        sim.schedule(3 * BUCKET_HORIZON + 11, lambda: seen.append(sim.now))
+        sim.run(until=10 * BUCKET_HORIZON)
+        return tuple(seen), sim.now
+
+    check("idle fast-forward jumps heap == bucket",
+          idle_gap("bucket") == idle_gap("heap")
+          and idle_gap("bucket")[0] == (3 * BUCKET_HORIZON + 11,))
+
+    # -- determinism sentinel: full kernel run, heap vs bucket queue
+    heap_run = _sentinel_run("heap")
+    bucket_run = _sentinel_run("bucket")
+    check("sentinel: finished jobs bit-for-bit identical",
+          heap_run[0] == bucket_run[0] and len(heap_run[0]) > 0,
+          f"{len(heap_run[0])} job(s)")
+    check("sentinel: traces bit-for-bit identical",
+          heap_run[1] == bucket_run[1] and len(heap_run[1]) > 0,
+          f"{len(heap_run[1])} event(s)")
+    check("sentinel: kernel stats identical",
+          heap_run[2] == bucket_run[2] and heap_run[3] == bucket_run[3],
+          f"now={heap_run[3]}")
+
     # -- ISA dispatch table
     from repro.hw.assembler import assemble
     from repro.hw.isa import ISAExecutor
@@ -179,18 +281,48 @@ def self_check(out=None) -> int:
 
 # ----------------------------------------------------------------------- main
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import format_results, run_benchmarks
+    from repro.perf.bench import BENCH_FILE, format_results, run_benchmarks
 
-    results = run_benchmarks(out=args.out, workers=args.workers or None,
-                             quick=args.quick)
+    out = args.out
+    if out is None:
+        # Engine-only results must not overwrite a full BENCH_perf.json,
+        # so the quick mode writes nothing unless --out is explicit.
+        out = "" if args.engine_only else BENCH_FILE
+    results = run_benchmarks(out=out, workers=args.workers or None,
+                             quick=args.quick, engine_only=args.engine_only)
     print(format_results(results))
-    if args.out:
-        print(f"benchmark results written to {args.out}", file=sys.stderr)
+    if out:
+        print(f"benchmark results written to {out}", file=sys.stderr)
+    if args.engine_only:
+        return 0
     ok = results["figure4"]["identical"] and results["cache"]["identical"]
     if not ok:
         print("FAIL: parallel or cached results differ from serial",
               file=sys.stderr)
     return 0 if ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.perf.cache import RunCache
+
+    cache = RunCache(args.dir or None)
+    if args.gc:
+        max_bytes = None
+        if args.max_mb is not None:
+            max_bytes = int(args.max_mb * 1024 * 1024)
+        report = cache.gc(max_bytes=max_bytes, max_entries=args.max_entries)
+        print(
+            f"cache gc: {report['evicted']} entry(ies) evicted, "
+            f"{report['removed_tmp']} tmp file(s) removed; "
+            f"{report['entries_after']} entry(ies) / "
+            f"{report['bytes_after']} byte(s) remain in {report['root']}"
+        )
+    else:
+        print(
+            f"cache: {len(cache)} entry(ies), {cache.disk_usage()} byte(s) "
+            f"in {cache.root}"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -208,13 +340,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser("bench", help="time serial vs parallel and "
                                 "cold vs warm cache; write BENCH_perf.json")
-    bench.add_argument("--out", default="BENCH_perf.json",
-                       help="output file ('' = don't write)")
+    bench.add_argument("--out", default=None,
+                       help="output file ('' = don't write; default "
+                       "BENCH_perf.json, or nothing with --engine-only)")
     bench.add_argument("--workers", type=int, default=0,
                        help="worker processes (default: one per CPU)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller grids (CI-sized run)")
+    bench.add_argument("--engine-only", action="store_true",
+                       help="run only the event-core micro-benchmark "
+                       "(seconds; writes nothing unless --out is given)")
     bench.set_defaults(func=_cmd_bench)
+
+    cache = commands.add_parser(
+        "cache", help="report run-cache disk usage; --gc evicts LRU entries")
+    cache.add_argument("--gc", action="store_true",
+                       help="evict least-recently-used entries down to the "
+                       "limits (and always remove orphaned tmp files)")
+    cache.add_argument("--max-mb", type=float, default=None,
+                       help="keep at most this many megabytes")
+    cache.add_argument("--max-entries", type=int, default=None,
+                       help="keep at most this many entries")
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                       "or .repro-cache)")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

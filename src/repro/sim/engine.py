@@ -4,15 +4,38 @@ Time is an integer number of clock cycles.  All hardware models in
 :mod:`repro.hw` and the microkernel in :mod:`repro.kernel` run on top of
 this loop.  Determinism matters for reproduction, so ties in the event
 queue are broken by insertion order.
+
+Two interchangeable queue implementations back the loop:
+
+- ``"bucket"`` (the default): a hybrid bucketed timer queue.  A
+  near-horizon window of :data:`BUCKET_HORIZON` per-cycle FIFO buckets
+  absorbs the short delays that dominate full-system runs (bus grants,
+  kernel costs, execution chunks) with O(1) pushes and pops; anything
+  scheduled at least a full window ahead overflows into a regular heap.
+  FIFO buckets make insertion order the tie order by construction, and
+  a heap entry at cycle ``T`` was necessarily pushed at least
+  ``BUCKET_HORIZON`` cycles before any bucketed entry at ``T``, so
+  draining the heap first at each instant reproduces the global
+  insertion order exactly.  When the window is empty the loop
+  fast-forwards ``now`` straight to the heap's next instant -- idle
+  stretches (all cores parked on their interrupt lines) cost zero
+  per-cycle work.
+- ``"heap"``: the original flat ``heapq`` with explicit insertion-id
+  tie-breaks.  Kept as the reference implementation; the determinism
+  sentinel in ``repro-perf --self-check`` replays identical workloads
+  on both queues and requires bit-for-bit identical schedules.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.events import (
     PENDING,
+    PROCESSED,
+    TRIGGERED,
     AllOf,
     AnyOf,
     Event,
@@ -20,9 +43,26 @@ from repro.sim.events import (
     Timeout,
 )
 
+#: Width (in cycles) of the bucketed near-horizon window.  Power of two
+#: so bucket indexing is a mask.  Delays shorter than this are O(1)
+#: pushes; longer ones take the heap path.
+BUCKET_HORIZON = 1024
+_MASK = BUCKET_HORIZON - 1
+_WORDS = BUCKET_HORIZON >> 6  # 64-bit occupancy words
+_WMASK = _WORDS - 1
+_INF = float("inf")
+
 
 class Simulator:
     """A deterministic discrete-event simulator with integer cycle time.
+
+    Parameters
+    ----------
+    queue:
+        ``"bucket"`` (default) or ``"heap"``; both produce identical
+        schedules (see the module docstring).  ``None`` selects
+        :attr:`DEFAULT_QUEUE`, which the perf tier's determinism
+        sentinel flips to A/B the implementations.
 
     Example
     -------
@@ -37,11 +77,32 @@ class Simulator:
     [5]
     """
 
-    def __init__(self):
+    #: Queue implementation used when the constructor gets ``queue=None``.
+    DEFAULT_QUEUE = "bucket"
+
+    def __init__(self, queue: Optional[str] = None):
+        kind = queue or Simulator.DEFAULT_QUEUE
+        if kind not in ("bucket", "heap"):
+            raise ValueError(f"unknown queue implementation: {kind!r}")
+        self.queue_kind = kind
         self.now: int = 0
-        self._heap: List[tuple] = []
         self._eid = 0
         self._stopped = False
+        if kind == "heap":
+            self._heap: List[tuple] = []
+            self._push = self._push_heap
+        else:
+            self._buckets = [deque() for _ in range(BUCKET_HORIZON)]
+            # One occupancy bit per bucket, 64 buckets per word, so the
+            # scan for the next non-empty bucket skips empty stretches
+            # in word-sized strides.
+            self._occ = [0] * _WORDS
+            self._bucket_count = 0
+            # Exact earliest bucketed instant (None <=> window empty);
+            # maintained eagerly so peeks are O(1).
+            self._next_bt: Optional[int] = None
+            self._far: List[tuple] = []
+            self._push = self._push_bucket
 
     # -- event factories ----------------------------------------------------
     def event(self, name: Optional[str] = None) -> Event:
@@ -50,7 +111,7 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` cycles from now."""
-        return Timeout(self, int(delay), value=value)
+        return Timeout(self, delay, value=value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
         """Spawn a cooperative process from a generator."""
@@ -67,6 +128,7 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
     def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
         """Run ``callback()`` at absolute cycle ``time``."""
+        time = int(time)
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._push(time, callback)
@@ -75,9 +137,32 @@ class Simulator:
         """Run ``callback()`` after ``delay`` cycles."""
         self.schedule_at(self.now + int(delay), callback)
 
-    def _push(self, time: int, item: Any) -> None:
+    def _push_heap(self, time: int, item: Any) -> None:
         self._eid += 1
         heapq.heappush(self._heap, (time, self._eid, item))
+
+    def _push_bucket(self, time: int, item: Any) -> None:
+        self._eid += 1
+        if time - self.now < BUCKET_HORIZON:
+            idx = time & _MASK
+            bucket = self._buckets[idx]
+            if not bucket:
+                # A non-empty bucket already holds entries at exactly
+                # this instant (the window spans less than one wrap), so
+                # the cached minimum only moves on empty-bucket pushes.
+                self._occ[idx >> 6] |= 1 << (idx & 63)
+                nbt = self._next_bt
+                if nbt is None or time < nbt:
+                    self._next_bt = time
+            bucket.append(item)
+            self._bucket_count += 1
+        else:
+            heapq.heappush(self._far, (time, self._eid, item))
+
+    # ``_push`` is bound per-instance in ``__init__`` to the selected
+    # implementation; this class-level alias keeps the attribute
+    # documented and introspectable.
+    _push = _push_heap
 
     def _queue_event(self, event: Event) -> None:
         """Queue a triggered event's callbacks to run at the current time."""
@@ -86,17 +171,81 @@ class Simulator:
     def _schedule_timeout(self, event: Timeout, delay: int) -> None:
         self._push(self.now + delay, event)
 
+    # -- queue internals (bucket mode) ---------------------------------------
+    def _scan_bucket_time(self) -> int:
+        """Earliest occupied bucket instant (requires a non-empty window).
+
+        Scans the occupancy bitmap from ``now`` forward, one 64-bucket
+        word at a time; a set bit at ring position ``p`` maps back to
+        the unique instant ``now + ((p - now) mod BUCKET_HORIZON)``.
+        """
+        occ = self._occ
+        base = self.now & _MASK
+        word = occ[base >> 6] >> (base & 63)
+        if word:
+            return self.now + ((word & -word).bit_length() - 1)
+        w = base >> 6
+        for off in range(1, _WORDS + 1):
+            wi = (w + off) & _WMASK
+            wd = occ[wi]
+            if wd:
+                pos = (wi << 6) + ((wd & -wd).bit_length() - 1)
+                return self.now + ((pos - base) & _MASK)
+        raise RuntimeError("bucket occupancy out of sync")  # pragma: no cover
+
+    def _pop_next(self) -> tuple:
+        """Remove and return ``(time, item)`` for the next queue entry."""
+        if self.queue_kind == "heap":
+            time, _eid, item = heapq.heappop(self._heap)
+            return time, item
+        nbt = self._next_bt
+        far = self._far
+        if far and (nbt is None or far[0][0] <= nbt):
+            entry = heapq.heappop(far)
+            return entry[0], entry[2]
+        if nbt is None:
+            raise IndexError("pop from an empty event queue")
+        idx = nbt & _MASK
+        bucket = self._buckets[idx]
+        if not bucket:  # stale cache after an exception mid-run: heal
+            self._occ[idx >> 6] &= ~(1 << (idx & 63))
+            self._next_bt = self._scan_bucket_time() if self._bucket_count else None
+            return self._pop_next()
+        item = bucket.popleft()
+        self._bucket_count -= 1
+        if not bucket:
+            self._occ[idx >> 6] &= ~(1 << (idx & 63))
+            self._next_bt = self._scan_bucket_time() if self._bucket_count else None
+        return nbt, item
+
     # -- main loop -----------------------------------------------------------
+    def next_event_time(self) -> Optional[int]:
+        """The next scheduled instant, or None when the queue is empty.
+
+        This is the instant an idle system fast-forwards to: callers
+        modelling quiescent hardware (all cores parked on interrupt
+        lines) can observe how far the clock will jump.
+        """
+        if self.queue_kind == "heap":
+            return self._heap[0][0] if self._heap else None
+        nbt = self._next_bt
+        far = self._far
+        if far:
+            ft = far[0][0]
+            if nbt is None or ft < nbt:
+                return ft
+        return nbt
+
     def step(self) -> None:
         """Process the single next queue entry, advancing ``now``."""
-        time, _eid, item = heapq.heappop(self._heap)
+        time, item = self._pop_next()
         if time < self.now:  # pragma: no cover - defensive
             raise RuntimeError("event queue time went backwards")
         self.now = time
         if isinstance(item, Event):
             if item._state == PENDING:
                 # A timeout reaching its instant: trigger it now.
-                item._state = "triggered"
+                item._state = TRIGGERED
             item._run_callbacks()
         else:
             item()
@@ -108,12 +257,91 @@ class Simulator:
         even if no event is scheduled there, so back-to-back ``run``
         calls compose predictably.
         """
+        if self.queue_kind == "heap":
+            self._run_heap(until)
+        else:
+            self._run_bucket(until)
+
+    def _run_heap(self, until: Optional[int]) -> None:
         self._stopped = False
-        while self._heap and not self._stopped:
-            time = self._heap[0][0]
+        heap = self._heap
+        while heap and not self._stopped:
+            time = heap[0][0]
             if until is not None and time > until:
                 break
             self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def _run_bucket(self, until: Optional[int]) -> None:
+        # The hot loop: one iteration per *instant*, draining first the
+        # far heap's entries at that instant (strictly older insertion
+        # ids -- see the module docstring), then the FIFO bucket.
+        # Event dispatch is inlined (state flip + callback sweep) to
+        # keep per-event call overhead off the critical path.
+        self._stopped = False
+        limit = _INF if until is None else until
+        buckets = self._buckets
+        occ = self._occ
+        far = self._far
+        heappop = heapq.heappop
+        event_cls = Event
+        while not self._stopped:
+            nbt = self._next_bt
+            if far:
+                ft = far[0][0]
+                if nbt is None:
+                    t = ft
+                else:
+                    t = ft if ft < nbt else nbt
+            elif nbt is None:
+                break  # queue drained
+            else:
+                t = nbt
+            if t > limit:
+                break
+            # Idle fast-forward: nothing is scheduled between now and t,
+            # so the clock jumps in one assignment.
+            self.now = t
+            while far and far[0][0] == t:
+                item = heappop(far)[2]
+                if isinstance(item, event_cls):
+                    item._state = PROCESSED
+                    callbacks = item.callbacks
+                    if callbacks:
+                        item.callbacks = []
+                        for cb in callbacks:
+                            if cb is not None:
+                                cb(item)
+                else:
+                    item()
+                if self._stopped:
+                    break
+            if self._stopped:
+                break
+            if self._next_bt == t:
+                idx = t & _MASK
+                bucket = buckets[idx]
+                while bucket:
+                    item = bucket.popleft()
+                    self._bucket_count -= 1
+                    if isinstance(item, event_cls):
+                        item._state = PROCESSED
+                        callbacks = item.callbacks
+                        if callbacks:
+                            item.callbacks = []
+                            for cb in callbacks:
+                                if cb is not None:
+                                    cb(item)
+                    else:
+                        item()
+                    if self._stopped:
+                        break
+                if not bucket:
+                    occ[idx >> 6] &= ~(1 << (idx & 63))
+                    self._next_bt = (
+                        self._scan_bucket_time() if self._bucket_count else None
+                    )
         if until is not None and self.now < until:
             self.now = until
 
@@ -124,7 +352,9 @@ class Simulator:
     @property
     def pending_count(self) -> int:
         """Number of entries still in the queue (diagnostic)."""
-        return len(self._heap)
+        if self.queue_kind == "heap":
+            return len(self._heap)
+        return self._bucket_count + len(self._far)
 
 
 class Process(Event):
@@ -140,12 +370,13 @@ class Process(Event):
     Wake-ups (start, interrupt delivery, already-processed targets) are
     pushed into the queue as bare callbacks rather than throwaway
     ``Event`` objects: one queue entry is pushed either way, so tie
-    ordering — and therefore the schedule — is unchanged, but the
+    ordering -- and therefore the schedule -- is unchanged, but the
     allocation and callback-dispatch cost disappears from the hottest
     paths of full-system runs.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_wait_list", "_wait_slot")
+    __slots__ = ("_generator", "_waiting_on", "_wait_list", "_wait_slot",
+                 "_resume_cb")
 
     def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None):
         super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
@@ -157,6 +388,9 @@ class Process(Event):
         # callback list, for O(1) tombstone detach on interrupt.
         self._wait_list: Optional[list] = None
         self._wait_slot: int = -1
+        # The bound method is appended to a callback list on every
+        # yield; binding it once saves an allocation per wait.
+        self._resume_cb = self._resume
         # Kick off at the current time, but through the queue so that
         # construction order stays deterministic.
         sim._push(sim.now, self._start)
@@ -167,7 +401,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return not self.triggered
+        return self._state == PENDING
 
     def interrupt(self, cause: Any = None, guard: Optional[Callable[[], bool]] = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -178,11 +412,11 @@ class Process(Event):
         region between the decision to interrupt and the delivery (the
         kernel model uses it to never throw into kernel-mode code).
         """
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError(f"cannot interrupt finished process {self!r}")
 
         def deliver() -> None:
-            if self.triggered:
+            if self._state != PENDING:
                 return
             if guard is not None and not guard():
                 return
@@ -192,7 +426,7 @@ class Process(Event):
 
     # -- internal -------------------------------------------------------------
     def _resume(self, event: Optional[Event], throw: Optional[BaseException] = None) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         # Detach from whatever we were waiting on (interrupt case).
         # Tombstone our recorded slot instead of list.remove: entries
@@ -200,18 +434,23 @@ class Process(Event):
         # _run_callbacks, which our recorded reference survives), so
         # the slot index stays valid and detach is O(1) even for
         # heavily-interrupted processes.
-        if self._waiting_on is not None and self._waiting_on is not event:
+        waiting = self._waiting_on
+        if waiting is not None and waiting is not event:
             self._wait_list[self._wait_slot] = None
         self._waiting_on = None
         self._wait_list = None
+        generator = self._generator
         try:
             if throw is not None:
-                target = self._generator.throw(throw)
-            elif event is not None and event is not self and not event.ok:
-                target = self._generator.throw(event.value)
+                target = generator.throw(throw)
+            elif event is None or event is self:
+                target = generator.send(None)
+            elif event._ok:
+                target = generator.send(
+                    event._value if event._state != PENDING else None
+                )
             else:
-                value = event.value if isinstance(event, Event) and event.triggered else None
-                target = self._generator.send(value)
+                target = generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -229,11 +468,13 @@ class Process(Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
             )
-        if target._state == PENDING or not target.processed:
+        if target._state != PROCESSED:
             self._waiting_on = target
-            self._wait_list = target.callbacks
-            self._wait_slot = len(target.callbacks)
-            target.callbacks.append(self._resume)
+            callbacks = target.callbacks
+            self._wait_list = callbacks
+            self._wait_slot = len(callbacks)
+            callbacks.append(self._resume_cb)
         else:
             # Already processed event: resume immediately via queue.
-            self.sim._push(self.sim.now, lambda: self._resume(target))
+            sim = self.sim
+            sim._push(sim.now, lambda: self._resume(target))

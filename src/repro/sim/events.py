@@ -89,7 +89,8 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._queue_event(self)
+        sim = self.sim
+        sim._push(sim.now, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -101,16 +102,19 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._queue_event(self)
+        sim = self.sim
+        sim._push(sim.now, self)
         return self
 
     # -- internal ----------------------------------------------------------
     def _run_callbacks(self) -> None:
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            if callback is not None:  # skip tombstoned (detached) waiters
-                callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                if callback is not None:  # skip tombstoned (detached) waiters
+                    callback(self)
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
@@ -123,18 +127,31 @@ class Timeout(Event):
     It stays *pending* until its scheduled instant (so composite
     AnyOf/AllOf conditions treat it correctly) and is triggered by the
     simulator loop when its queue entry is reached.
+
+    Timeouts are the single hottest allocation in full-system runs, so
+    the constructor inlines the :class:`Event` field initialisation and
+    leaves ``name`` unset (``repr`` derives a label lazily) instead of
+    rendering an f-string per instance.
     """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None, name: Optional[str] = None):  # noqa: F821
+        delay = int(delay)
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"Timeout({delay})")
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        sim._schedule_timeout(self, delay)
+        self._ok = True
+        self._state = PENDING
+        self.delay = delay
+        sim._push(sim.now + delay, self)
+
+    def __repr__(self) -> str:
+        label = self.name or f"Timeout({self.delay})"
+        return f"<{label} state={self._state}>"
 
 
 class ConditionEvent(Event):

@@ -129,6 +129,75 @@ def test_wcrt_fixpoint_property(data):
         assert expected == result.value
 
 
+class TestWarmStartTable:
+    """The warm-started table must equal the per-task cold analysis."""
+
+    def check_table_matches_cold(self, tasks):
+        table = response_time_table(tasks)
+        cold = [worst_case_response_time(t, tasks) for t in tasks]
+        assert [(r.task, r.wcrt, r.schedulable) for r in table] == [
+            (r.task, r.wcrt, r.schedulable) for r in cold
+        ]
+
+    def test_identical_on_audsley_example(self):
+        self.check_table_matches_cold([
+            task("t1", 3, 7, high=3),
+            task("t2", 3, 12, high=2),
+            task("t3", 5, 20, high=1),
+        ])
+
+    def test_identical_with_unschedulable_task_mid_chain(self):
+        # "mid" diverges (tight deadline); the chain must recover and
+        # still warm-start "lo" from the last *converged* W.
+        self.check_table_matches_cold([
+            task("hp", 20, 50, high=3),
+            task("mid", 40, 200, deadline=45, high=2),
+            task("lo", 10, 400, high=1),
+        ])
+
+    def test_identical_under_arbitrary_input_order(self):
+        tasks = [
+            task("t3", 5, 20, high=1),
+            task("t1", 3, 7, high=3),
+            task("t2", 3, 12, high=2),
+        ]
+        self.check_table_matches_cold(tasks)
+        assert [r.task for r in response_time_table(tasks)] == [
+            "t3", "t1", "t2"
+        ]
+
+    def test_warm_start_skips_ramp_up_iterations(self):
+        # High utilization: the cold recurrence crawls up from zero;
+        # warm-started table entries must converge in fewer steps.
+        tasks = [
+            task("a", 9, 30, high=3),
+            task("b", 9, 31, high=2),
+            task("c", 9, 100, high=1),
+        ]
+        table = {r.task: r for r in response_time_table(tasks)}
+        cold = worst_case_response_time(tasks[-1], tasks)
+        assert table["c"].wcrt == cold.wcrt
+        assert table["c"].iterations <= cold.iterations
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_identical_tables_property(self, data):
+        n = data.draw(st.integers(1, 6))
+        tasks = []
+        for i in range(n):
+            c = data.draw(st.integers(1, 40), label=f"c{i}")
+            p = data.draw(st.integers(60, 900), label=f"p{i}")
+            d = data.draw(
+                st.one_of(st.none(), st.integers(40, p)), label=f"d{i}"
+            )
+            tasks.append(task(f"t{i}", c, p, deadline=d, high=n - i))
+        self.check_table_matches_cold(tasks)
+
+    def test_recurrence_rejects_negative_warm_start(self):
+        with pytest.raises(ValueError):
+            busy_period_recurrence(10, [], limit=100, w0=-1)
+
+
 class TestDivergenceGuard:
     def test_guard_raises_clear_diagnostic(self):
         """At utilization >= 1 with a huge limit, the recurrence must not

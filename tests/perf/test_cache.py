@@ -101,3 +101,74 @@ class TestRunCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
         cache = RunCache()
         assert str(cache.root).endswith("envroot")
+
+
+class TestGarbageCollection:
+    def fill(self, tmp_path, n, mtime_step=10):
+        """Populate a cache with n entries whose mtimes ascend by key index."""
+        import os
+        import time
+
+        cache = RunCache(tmp_path)
+        keys = [cache_key(x=f"gc-{i}") for i in range(n)]
+        base = time.time() - n * mtime_step - 1_000
+        for i, key in enumerate(keys):
+            cache.put(key, {"index": i, "payload": "x" * 64})
+            os.utime(cache._path(key), (base + i * mtime_step,) * 2)
+        return cache, keys
+
+    def test_gc_without_limits_is_a_report(self, tmp_path):
+        cache, keys = self.fill(tmp_path, 4)
+        report = cache.gc()
+        assert report["evicted"] == 0
+        assert report["entries_before"] == report["entries_after"] == 4
+        assert report["bytes_before"] == report["bytes_after"] > 0
+        assert all(key in cache for key in keys)
+
+    def test_gc_max_entries_evicts_lru_first(self, tmp_path):
+        cache, keys = self.fill(tmp_path, 6)
+        report = cache.gc(max_entries=2)
+        assert report["evicted"] == 4
+        assert report["entries_after"] == 2
+        # Oldest-used entries go first; the newest two survive.
+        assert all(key not in cache for key in keys[:4])
+        assert all(key in cache for key in keys[4:])
+
+    def test_gc_max_bytes_evicts_down_to_budget(self, tmp_path):
+        cache, keys = self.fill(tmp_path, 5)
+        per_entry = cache.disk_usage() // 5
+        report = cache.gc(max_bytes=2 * per_entry)
+        assert report["bytes_after"] <= 2 * per_entry
+        assert report["evicted"] >= 3
+        assert keys[-1] in cache  # most recently used survives
+
+    def test_gc_hit_refreshes_lru_rank(self, tmp_path):
+        cache, keys = self.fill(tmp_path, 4)
+        hit, _ = cache.lookup(keys[0])  # touch the oldest entry
+        assert hit
+        cache.gc(max_entries=1)
+        assert keys[0] in cache  # survived because it was just used
+        assert all(key not in cache for key in keys[1:])
+
+    def test_gc_removes_orphaned_tmp_files(self, tmp_path):
+        cache, _ = self.fill(tmp_path, 2)
+        orphan = cache.root / "ab" / "deadbeef.tmp.1234"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("torn write")
+        report = cache.gc()
+        assert report["removed_tmp"] == 1
+        assert not orphan.exists()
+
+    def test_gc_empty_cache(self, tmp_path):
+        cache = RunCache(tmp_path / "never-created")
+        report = cache.gc(max_bytes=0, max_entries=0)
+        assert report["evicted"] == 0
+        assert report["entries_before"] == 0
+        assert cache.disk_usage() == 0
+
+    def test_gc_prunes_emptied_fanout_dirs(self, tmp_path):
+        cache, keys = self.fill(tmp_path, 3)
+        cache.gc(max_entries=0)
+        assert len(cache) == 0
+        # No entry files remain; emptied prefix dirs are gone too.
+        assert all(not p.is_dir() for p in cache.root.iterdir())
