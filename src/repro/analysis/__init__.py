@@ -34,6 +34,16 @@ from repro.analysis.taskgen import (
     random_taskset,
     uunifast,
 )
+from repro.analysis.verified import (
+    DEFAULT_SPECS,
+    KernelTaskSpec,
+    KernelWCET,
+    VerifiedAnalysis,
+    analyse_verified,
+    scale_periods,
+    verified_taskset,
+    verified_wcets,
+)
 
 __all__ = [
     "worst_case_response_time",
@@ -56,4 +66,12 @@ __all__ = [
     "uunifast",
     "random_periods",
     "random_taskset",
+    "DEFAULT_SPECS",
+    "KernelTaskSpec",
+    "KernelWCET",
+    "VerifiedAnalysis",
+    "analyse_verified",
+    "scale_periods",
+    "verified_taskset",
+    "verified_wcets",
 ]

@@ -398,3 +398,43 @@ def mpic_timeout_sweep(
 
 def _mpic_measure(ack_timeout: int) -> Dict[str, Any]:
     return prototype_response_s(mpic_ack_timeout=ack_timeout)
+
+
+def verified_wcet_sweep(
+    period_scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    n_cpus: int = 2,
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
+) -> SweepResult:
+    """Schedulability with verified vs annotated C_i as periods tighten.
+
+    At each scale the asmlib-kernel task set
+    (:data:`repro.analysis.verified.DEFAULT_SPECS`, periods multiplied
+    by the scale) is analysed twice: once with annotation-derived WCETs
+    and once with the abstract-interpretation-verified ones.  The
+    interesting region is where the verified bounds admit a set the
+    annotated bounds reject.
+    """
+    measure = functools.partial(_verified_measure, n_cpus=n_cpus)
+    return sweep(measure, {"period_scale": list(period_scales)},
+                 max_workers=max_workers,
+                 cache=cache, cache_tag="verified_wcet_sweep")
+
+
+def _verified_measure(period_scale: float, n_cpus: int) -> Dict[str, Any]:
+    from repro.analysis.verified import DEFAULT_SPECS, analyse_verified, scale_periods
+
+    specs = scale_periods(DEFAULT_SPECS, period_scale)
+    row: Dict[str, Any] = {}
+    for source in ("verified", "annotated"):
+        result = analyse_verified(specs=specs, n_cpus=n_cpus, wcet_source=source)
+        row[f"{source}_schedulable"] = result.schedulable
+        row[f"{source}_utilization"] = (
+            round(result.report.total_utilization, 4)
+            if result.report is not None
+            else None
+        )
+    row["verified_only"] = (
+        row["verified_schedulable"] and not row["annotated_schedulable"]
+    )
+    return row

@@ -185,9 +185,16 @@ class ISAExecutor:
         given, every *shared* (non-local) data access is recorded as an
         ``access`` event so the race checker in
         :mod:`repro.lint.concurrency` can analyse the run.
+    count_pcs:
+        When True, ``pc_counts`` maps each executed instruction index
+        to its execution count, so static loop bounds
+        (:mod:`repro.lint.absint`) can be cross-checked against actual
+        iteration counts.  Off by default to keep the hot loop lean.
     """
 
-    def __init__(self, core: MicroBlaze, program: Program, trace=None):
+    def __init__(
+        self, core: MicroBlaze, program: Program, trace=None, count_pcs: bool = False
+    ):
         self.core = core
         self.program = program
         self.trace = trace
@@ -195,6 +202,7 @@ class ISAExecutor:
         self.cycles = 0
         self.icache_misses = 0
         self.data_accesses = 0
+        self.pc_counts: Optional[Dict[int, int]] = {} if count_pcs else None
         for addr, value in program.data.items():
             self._region_for(addr).write_word(addr, value)
 
@@ -308,6 +316,7 @@ class ISAExecutor:
         instructions = program.instructions
         dispatch = self._DISPATCH
         timeout = self.core.sim.timeout
+        counts = self.pc_counts
         while not state.halted:
             if state.instructions_retired >= max_instructions:
                 raise ISAError(
@@ -315,6 +324,8 @@ class ISAExecutor:
                 )
             if not 0 <= state.pc < len(instructions):
                 raise ISAError(f"pc {state.pc} outside program")
+            if counts is not None:
+                counts[state.pc] = counts.get(state.pc, 0) + 1
             yield from self._fetch(state.pc)
             instr = instructions[state.pc]
             yield timeout(1)

@@ -1,19 +1,39 @@
 """``repro.lint`` -- deterministic static checking before anything runs.
 
-Three passes over the reproduction's three input kinds, sharing one
+Five passes over the reproduction's input kinds, sharing one
 diagnostic model (:class:`~repro.lint.diagnostics.Diagnostic`):
 
 - :mod:`repro.lint.asm` -- CFG/dataflow/WCET analysis of assembled
   MicroBlaze-subset programs;
+- :mod:`repro.lint.absint` -- interval abstract interpretation over the
+  same programs: inferred loop bounds, memory/stack safety proofs, and
+  path-pruned verified WCETs (ASM1xx rules);
 - :mod:`repro.lint.tasks` -- task-table and schedulability linting for
   the offline analysis pipeline;
 - :mod:`repro.lint.concurrency` -- lockset race detection and
-  lock-order deadlock detection over recorded traces.
+  lock-order deadlock detection over recorded traces;
+- :mod:`repro.lint.determinism` -- AST lint of the simulator's own
+  Python for nondeterminism (wall clocks, unseeded RNGs, set order).
 
-``repro-lint`` (:mod:`repro.lint.cli`) exposes all three on the command
+``repro-lint`` (:mod:`repro.lint.cli`) exposes all five on the command
 line; ``docs/LINT.md`` catalogues every rule code.
 """
 
+from repro.lint.absint import (
+    AbsintResult,
+    Annotations,
+    Interval,
+    KernelAudit,
+    RoutineAudit,
+    VerifiedWCET,
+    analyse,
+    audit_kernel,
+    audit_kernels,
+    audit_routine,
+    format_audit,
+    parse_annotations,
+    verified_wcet,
+)
 from repro.lint.asm import (
     CALLING_CONVENTION_PARAMS,
     CostModel,
@@ -25,6 +45,7 @@ from repro.lint.asm import (
     wcet_bound,
 )
 from repro.lint.concurrency import ConcurrencyChecker, lint_trace
+from repro.lint.determinism import lint_paths, lint_python_source
 from repro.lint.diagnostics import (
     Diagnostic,
     LintError,
@@ -35,22 +56,37 @@ from repro.lint.diagnostics import (
 from repro.lint.tasks import check_taskset, lint_task_rows, lint_taskset
 
 __all__ = [
+    "AbsintResult",
+    "Annotations",
     "CALLING_CONVENTION_PARAMS",
     "ConcurrencyChecker",
     "CostModel",
     "Diagnostic",
+    "Interval",
+    "KernelAudit",
     "LintError",
     "LintReport",
     "MemoryRegion",
     "ProgramAnalysis",
+    "RoutineAudit",
     "Severity",
+    "VerifiedWCET",
     "WCETResult",
+    "analyse",
+    "audit_kernel",
+    "audit_kernels",
+    "audit_routine",
     "check_taskset",
+    "format_audit",
+    "lint_paths",
     "lint_program",
+    "lint_python_source",
     "lint_source",
     "lint_task_rows",
     "lint_taskset",
     "lint_trace",
+    "parse_annotations",
     "require_ok",
+    "verified_wcet",
     "wcet_bound",
 ]

@@ -665,6 +665,9 @@ def wcet_bound(
     entry: int = 0,
     cost_model: Optional[CostModel] = None,
     analysis: Optional[ProgramAnalysis] = None,
+    *,
+    exclude_edges: Optional[Iterable[Tuple[int, int]]] = None,
+    exclude_nodes: Optional[Iterable[int]] = None,
 ) -> WCETResult:
     """Static WCET upper bound of ``program`` from ``entry``.
 
@@ -673,11 +676,18 @@ def wcet_bound(
     result is an upper bound on :class:`~repro.hw.isa.ISAExecutor`
     cycles for any execution respecting those bounds, assuming an
     uncontended bus (single master).
+
+    ``exclude_edges``/``exclude_nodes`` drop CFG edges and nodes a
+    value analysis (:mod:`repro.lint.absint`) proved infeasible before
+    the longest-path computation; a unit whose entry is excluded never
+    runs and contributes 0 cycles.
     """
     analysis = analysis or ProgramAnalysis(program, entry=entry)
     report = LintReport().extend(analysis.report)
     model = cost_model or CostModel()
     bounds = dict(loop_bounds or {})
+    dead_edges = frozenset(exclude_edges or ())
+    dead_nodes = frozenset(exclude_nodes or ())
 
     if analysis.recursive:
         return WCETResult(cycles=None, report=report)
@@ -687,8 +697,20 @@ def wcet_bound(
     per_unit: Dict[int, int] = {}
     failed = False
     for unit in analysis._order:  # callees first
+        nodes = unit.nodes - dead_nodes
+        if unit.entry in dead_nodes or not nodes:
+            per_unit[unit.entry] = 0  # unit proven unreachable: never runs
+            continue
+        succs = {
+            node: [
+                succ
+                for succ in unit.succs.get(node, [])
+                if succ in nodes and (node, succ) not in dead_edges
+            ]
+            for node in nodes
+        }
         node_cost: Dict[int, int] = {}
-        for node in unit.nodes:
+        for node in nodes:
             cost = model.cost(program.instructions[node])
             if node in unit.calls:
                 callee_cycles = per_unit.get(unit.calls[node])
@@ -700,7 +722,7 @@ def wcet_bound(
         if failed:
             break
         unit_cycles = _longest_path(
-            unit.nodes, unit.entry, unit.succs, node_cost, bounds, analysis, report
+            nodes, unit.entry, succs, node_cost, bounds, analysis, report
         )
         if unit_cycles is None:
             failed = True

@@ -1,29 +1,64 @@
 """``repro-lint``: the static-analysis front end.
 
-Three subcommands, one per pass, plus a self-check smoke mode::
+Five subcommands, one per pass, plus a self-check smoke mode::
 
-    repro-lint asm prog.s [--param r5 --param r15] [--wcet --loop-bound loop=32]
+    repro-lint asm prog.s [--param r5] [--wcet --loop-bound loop=32] [--verified]
     repro-lint tasks table.csv --cpus 2 [--tick 10000]
     repro-lint trace trace.json
+    repro-lint audit [--kernel memcpy_words] [--seed 1 --seed 2] [--routines]
+    repro-lint determinism [PATH ...]
     repro-lint --self-check
 
-Exit status: 0 when no *errors* were reported (warnings are printed but
-do not fail the run), 1 otherwise.
+Every subcommand accepts ``--format {text,json}``; JSON output carries
+the stable rule-code/location schema from
+:meth:`~repro.lint.diagnostics.Diagnostic.to_dict`, so CI can gate on
+specific rules.
+
+Exit status is a three-way contract:
+
+- ``0`` -- the pass ran and reported no *errors* (warnings are printed
+  but do not fail the run);
+- ``1`` -- the pass ran and reported findings (lint errors, unbounded
+  WCET, failed audit checks);
+- ``2`` -- the tool itself could not do its job: unreadable input,
+  usage errors, or an internal crash.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.lint.diagnostics import LintReport, Severity
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+class _InputError(Exception):
+    """Operational failure (unreadable input): exit code 2, not a finding."""
+
+
+def _read_text(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise _InputError(f"cannot read {path}: {exc.strerror}") from exc
 
 
 def _print_report(report: LintReport, header: str, out=None) -> int:
     out = out or sys.stdout
     print(report.format(header=header), file=out)
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_FINDINGS
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 # ------------------------------------------------------------------------ asm
@@ -42,76 +77,136 @@ def _parse_loop_bounds(items: List[str]) -> Dict[Union[str, int], int]:
 
 def _cmd_asm(args: argparse.Namespace) -> int:
     from repro.hw.assembler import AssemblerError, assemble
-    from repro.lint.asm import lint_program, wcet_bound
+    from repro.lint.absint import (
+        AnnotationError,
+        audit_annotation_rules,
+        parse_annotations,
+        verified_wcet,
+    )
+    from repro.lint.asm import ProgramAnalysis, lint_program, wcet_bound
 
-    try:
-        with open(args.file) as handle:
-            source = handle.read()
-    except OSError as exc:
-        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
-        return 1
+    source = _read_text(args.file)
     try:
         program = assemble(source, text_base=args.text_base)
     except AssemblerError as exc:
         print(f"ASM000 error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FINDINGS
 
     entry = 0
     if args.entry is not None:
         address = program.symbols.get(args.entry)
         if address is None:
             print(f"unknown entry label {args.entry!r}", file=sys.stderr)
-            return 1
+            return EXIT_ERROR
         entry = (address - program.base) // 4
 
     report = lint_program(program, entry=entry, params=args.param)
-    status = _print_report(report, header=f"asm lint: {args.file}")
+    status = EXIT_OK if report.ok else EXIT_FINDINGS
+    payload: dict = {
+        "command": "asm",
+        "file": args.file,
+        "report": report.to_dict(),
+        "wcet": None,
+        "verified": None,
+    }
+    if args.format == "text":
+        _print_report(report, header=f"asm lint: {args.file}")
+
     if args.wcet:
         result = wcet_bound(
             program, loop_bounds=_parse_loop_bounds(args.loop_bound), entry=entry
         )
         for diag in result.report:
             if diag.rule == "ASM006":
+                if args.format == "text":
+                    print(diag.format())
+                payload["report"]["diagnostics"].append(diag.to_dict())
+                status = EXIT_FINDINGS
+        payload["wcet"] = {"bounded": result.bounded, "cycles": result.cycles}
+        if args.format == "text":
+            if result.bounded:
+                print(f"static WCET bound: {result.cycles} cycles")
+            else:
+                print("static WCET bound: unbounded (see diagnostics)")
+        if not result.bounded:
+            status = EXIT_FINDINGS
+
+    if args.verified:
+        try:
+            annotations = parse_annotations(source)
+        except AnnotationError as exc:
+            print(f"ASM000 error: {exc}", file=sys.stderr)
+            return EXIT_FINDINGS
+        analysis = ProgramAnalysis(program, entry=entry)
+        wcet = verified_wcet(
+            program, annotations=annotations, entry=entry, analysis=analysis
+        )
+        absint_report = LintReport().extend(wcet.absint.report)
+        absint_report.extend(
+            audit_annotation_rules(wcet.absint, annotations, analysis)
+        )
+        payload["verified"] = {
+            "ok": absint_report.ok,
+            "verified_cycles": wcet.verified_cycles,
+            "annotated_cycles": wcet.annotated_cycles,
+            "tightened": wcet.tightened,
+            "report": absint_report.to_dict(),
+        }
+        if args.format == "text":
+            for diag in absint_report:
                 print(diag.format())
-                status = 1
-        if result.bounded:
-            print(f"static WCET bound: {result.cycles} cycles")
-        else:
-            print("static WCET bound: unbounded (see diagnostics)")
-            status = 1
+            if wcet.verified_cycles is not None:
+                suffix = " (tightened)" if wcet.tightened else ""
+                print(
+                    f"verified WCET bound: {wcet.verified_cycles} cycles "
+                    f"(annotated: {wcet.annotated_cycles}){suffix}"
+                )
+            else:
+                print("verified WCET bound: unbounded (see diagnostics)")
+        if not absint_report.ok or wcet.verified_cycles is None:
+            status = EXIT_FINDINGS
+
+    if args.format == "json":
+        _emit_json(payload)
     return status
 
 
 # ---------------------------------------------------------------------- tasks
 def _cmd_tasks(args: argparse.Namespace) -> int:
     import csv
+    import io
 
     from repro.analysis.partitioning import PartitioningError, partition
     from repro.analysis.promotion import assign_promotions
     from repro.core.task import PeriodicTask, TaskSet
     from repro.lint.tasks import lint_task_rows, lint_taskset
 
+    text = _read_text(args.file)
     rows = []
-    try:
-        handle = open(args.file, newline="")
-    except OSError as exc:
-        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
-        return 1
-    with handle:
-        for row in csv.reader(handle):
-            if not row or row[0].startswith("#") or row[0] == "name":
-                continue
-            rows.append(
-                {
-                    "name": row[0],
-                    "wcet": row[1] if len(row) > 1 else None,
-                    "period": row[2] if len(row) > 2 else None,
-                    "deadline": row[3] if len(row) > 3 and row[3] else None,
-                }
-            )
+    for row in csv.reader(io.StringIO(text)):
+        if not row or row[0].startswith("#") or row[0] == "name":
+            continue
+        rows.append(
+            {
+                "name": row[0],
+                "wcet": row[1] if len(row) > 1 else None,
+                "period": row[2] if len(row) > 2 else None,
+                "deadline": row[3] if len(row) > 3 and row[3] else None,
+            }
+        )
     row_report = lint_task_rows(rows)
-    status = _print_report(row_report, header=f"task rows: {args.file}")
+    payload: dict = {
+        "command": "tasks",
+        "file": args.file,
+        "rows": row_report.to_dict(),
+        "taskset": None,
+    }
+    status = EXIT_OK if row_report.ok else EXIT_FINDINGS
+    if args.format == "text":
+        _print_report(row_report, header=f"task rows: {args.file}")
     if not row_report.ok:
+        if args.format == "json":
+            _emit_json(payload)
         return status
 
     taskset = TaskSet(
@@ -139,7 +234,12 @@ def _cmd_tasks(args: argparse.Namespace) -> int:
             hint="the set is infeasible on this processor count",
         )
     set_report.extend(lint_taskset(taskset, args.cpus, tick=args.tick))
-    return max(status, _print_report(set_report, header=f"task set ({args.cpus} cpus)"))
+    payload["taskset"] = set_report.to_dict()
+    if args.format == "text":
+        _print_report(set_report, header=f"task set ({args.cpus} cpus)")
+    if args.format == "json":
+        _emit_json(payload)
+    return max(status, EXIT_OK if set_report.ok else EXIT_FINDINGS)
 
 
 # ---------------------------------------------------------------------- trace
@@ -147,24 +247,152 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.lint.concurrency import lint_trace
     from repro.trace.export import trace_from_json
 
-    try:
-        with open(args.file) as handle:
-            trace = trace_from_json(handle.read())
-    except OSError as exc:
-        print(f"cannot read {args.file}: {exc.strerror}", file=sys.stderr)
-        return 1
+    trace = trace_from_json(_read_text(args.file))
     report = lint_trace(trace)
+    if args.format == "json":
+        _emit_json(
+            {
+                "command": "trace",
+                "file": args.file,
+                "events": len(trace),
+                "report": report.to_dict(),
+            }
+        )
+        return EXIT_OK if report.ok else EXIT_FINDINGS
     return _print_report(report, header=f"trace lint: {args.file} ({len(trace)} events)")
+
+
+# ---------------------------------------------------------------------- audit
+def _audit_dict(audit) -> dict:
+    return {
+        "kernel": audit.kernel,
+        "seed": audit.seed,
+        "measured": audit.measured,
+        "verified": audit.wcet.verified_cycles,
+        "annotated": audit.wcet.annotated_cycles,
+        "tightened": audit.wcet.tightened,
+        "ok": audit.ok,
+        "loop_executions": audit.loop_executions,
+        "checks": [
+            {"name": name, "ok": ok, "detail": detail}
+            for name, ok, detail in audit.checks
+        ],
+    }
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.lint.absint import (
+        EXPECTED_COUNTED,
+        audit_kernel,
+        audit_routine,
+        format_audit,
+    )
+
+    kernels = args.kernel or sorted(EXPECTED_COUNTED)
+    unknown = [k for k in kernels if k not in EXPECTED_COUNTED]
+    if unknown:
+        print(f"unknown kernel(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.routines:
+        routine_audits = [audit_routine(kernel) for kernel in kernels]
+        ok = all(audit.ok for audit in routine_audits)
+        if args.format == "json":
+            _emit_json(
+                {
+                    "command": "audit",
+                    "mode": "routines",
+                    "routines": [
+                        {
+                            "name": audit.name,
+                            "ok": audit.ok,
+                            "report": audit.report.to_dict(),
+                            "loops": [
+                                {
+                                    "label": summary.label,
+                                    "header": header,
+                                    "counted": summary.counted,
+                                    "inferred": summary.inferred,
+                                    "inferred_min": summary.inferred_min,
+                                }
+                                for header, summary in sorted(
+                                    audit.result.loops.items()
+                                )
+                            ],
+                        }
+                        for audit in routine_audits
+                    ],
+                }
+            )
+        else:
+            for audit in routine_audits:
+                _print_report(audit.report, header=f"routine audit: {audit.name}")
+                for header, summary in sorted(audit.result.loops.items()):
+                    print(
+                        f"  loop {summary.label or header}: "
+                        f"counted={summary.counted} inferred={summary.inferred}"
+                    )
+        return EXIT_OK if ok else EXIT_FINDINGS
+
+    seeds = args.seed or [1]
+    audits = [audit_kernel(k, seed=s) for k in kernels for s in seeds]
+    ok = all(audit.ok for audit in audits)
+    if args.format == "json":
+        _emit_json(
+            {
+                "command": "audit",
+                "mode": "kernels",
+                "audits": [_audit_dict(a) for a in audits],
+                "ok": ok,
+            }
+        )
+    else:
+        print(format_audit(audits))
+        for audit in audits:
+            if not audit.ok:
+                for name, check_ok, detail in audit.checks:
+                    if not check_ok:
+                        print(
+                            f"FAIL {audit.kernel} seed={audit.seed}: {name} ({detail})"
+                        )
+    return EXIT_OK if ok else EXIT_FINDINGS
+
+
+# --------------------------------------------------------------- determinism
+def _default_determinism_paths() -> List[str]:
+    import repro
+
+    base = Path(repro.__file__).parent
+    return [str(base / name) for name in ("sim", "hw", "kernel")]
+
+
+def _cmd_determinism(args: argparse.Namespace) -> int:
+    from repro.lint.determinism import lint_paths
+
+    paths = args.path or _default_determinism_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise _InputError(f"cannot read {missing[0]}: No such file or directory")
+    report = lint_paths(paths)
+    if args.format == "json":
+        _emit_json(
+            {"command": "determinism", "paths": list(paths), "report": report.to_dict()}
+        )
+        return EXIT_OK if report.ok else EXIT_FINDINGS
+    return _print_report(
+        report, header=f"determinism lint: {len(paths)} path(s)"
+    )
 
 
 # ----------------------------------------------------------------- self-check
 def self_check(out=None) -> int:
-    """Smoke-run all three passes against built-in fixtures.
+    """Smoke-run all passes against built-in fixtures.
 
     Verifies that every pass still flags its canonical bad input and
     stays silent on known-good ones, including a live cross-check of the
-    static WCET bound against the cycle-accurate executor.  Returns 0 on
-    success; used by the CI lint tier.
+    static WCET bound against the cycle-accurate executor and the full
+    ``measured <= verified <= annotated`` audit chain for every asmlib
+    kernel.  Returns 0 on success; used by the CI lint tier.
     """
     out = out or sys.stdout
     failures: List[str] = []
@@ -276,6 +504,101 @@ def self_check(out=None) -> int:
     check("trace clean: guarded accesses", report.clean,
           "; ".join(d.rule for d in report) or "no diagnostics")
 
+    # -- pass 4: abstract interpretation
+    from repro.lint.absint import analyse, audit_kernels, format_audit, verified_wcet
+
+    counted = assemble(
+        """
+            addi r3, r0, 5
+        loop:
+            addi r3, r3, -1
+            bnez r3, loop
+            halt
+        """
+    )
+    result = analyse(counted)
+    inferred = sorted(result.inferred_bounds().values())
+    check(
+        "absint infers counted-loop bound",
+        result.ok and inferred == [5],
+        f"inferred={inferred}",
+    )
+
+    bad_mem = analyse(assemble("lwi r3, r0, 0x123\nhalt"))
+    check(
+        "absint flags misaligned access (ASM104)",
+        bool(bad_mem.report.by_rule("ASM104")),
+        ",".join(bad_mem.report.rules()),
+    )
+
+    deep = analyse(
+        assemble(
+            "addi r3, r0, 1\nbrl r15, leaf\nhalt\nleaf:\naddi r4, r0, 2\njr r15"
+        ),
+        stack_budget=1,
+    )
+    check(
+        "absint flags stack overflow (ASM105)",
+        bool(deep.report.by_rule("ASM105")),
+        ",".join(deep.report.rules()),
+    )
+
+    pruned = verified_wcet(
+        assemble(
+            """
+                addi r3, r0, 1
+                beqz r3, slow
+                halt
+            slow:
+                addi r4, r0, 1
+                addi r4, r4, 1
+                addi r4, r4, 1
+                halt
+            """
+        )
+    )
+    check(
+        "absint prunes infeasible path",
+        pruned.tightened,
+        f"verified={pruned.verified_cycles} annotated={pruned.annotated_cycles}",
+    )
+
+    audits = audit_kernels(seeds=(1,))
+    for audit in audits:
+        check(
+            f"kernel audit: {audit.kernel}",
+            audit.ok,
+            "; ".join(n for n, ok, _ in audit.checks if not ok) or "all checks",
+        )
+    check(
+        "at least one kernel strictly tighter than annotation",
+        any(audit.wcet.tightened for audit in audits),
+        ", ".join(a.kernel for a in audits if a.wcet.tightened) or "none",
+    )
+    print(format_audit(audits), file=out)
+
+    # -- pass 5: repo determinism
+    from repro.lint.determinism import lint_paths, lint_python_source
+
+    det = lint_paths(_default_determinism_paths())
+    check(
+        "determinism: sim/hw/kernel clean",
+        det.clean,
+        "; ".join(d.rule for d in det) or "no diagnostics",
+    )
+    det_bad = lint_python_source(
+        "import time, random\n"
+        "x = time.time()\n"
+        "y = random.random()\n"
+        "for k in {1, 2}:\n"
+        "    pass\n"
+    )
+    check(
+        "determinism flags DET001/DET002/DET003",
+        det_bad.rules() == ["DET001", "DET002", "DET003"],
+        ",".join(det_bad.rules()),
+    )
+
     print(
         f"self-check: {'PASS' if not failures else 'FAIL'} "
         f"({len(failures)} failure(s))",
@@ -288,17 +611,28 @@ def self_check(out=None) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="static analysis: assembly CFG/dataflow/WCET, task-set "
-        "schedulability, trace race/deadlock detection",
+        description="static analysis: assembly CFG/dataflow/WCET, abstract "
+        "interpretation, task-set schedulability, trace race/deadlock "
+        "detection, repo determinism",
     )
     parser.add_argument(
         "--self-check",
         action="store_true",
-        help="smoke-run all three passes on built-in fixtures and exit",
+        help="smoke-run all passes on built-in fixtures and exit",
     )
     commands = parser.add_subparsers(dest="command")
 
-    asm = commands.add_parser("asm", help="lint an assembly source file")
+    fmt = argparse.ArgumentParser(add_help=False)
+    fmt.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json uses the stable rule/location schema)",
+    )
+
+    asm = commands.add_parser(
+        "asm", help="lint an assembly source file", parents=[fmt]
+    )
     asm.add_argument("file")
     asm.add_argument("--entry", default=None, help="entry label (default: first instruction)")
     asm.add_argument(
@@ -316,9 +650,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LABEL=N",
         help="max iterations of the loop headed at LABEL (repeatable)",
     )
+    asm.add_argument(
+        "--verified",
+        action="store_true",
+        help="run the abstract-interpretation pass: inferred bounds, "
+        "memory/stack proofs, path-pruned WCET (uses #@ annotations)",
+    )
     asm.set_defaults(func=_cmd_asm)
 
-    tasks = commands.add_parser("tasks", help="lint a task table CSV")
+    tasks = commands.add_parser("tasks", help="lint a task table CSV", parents=[fmt])
     tasks.add_argument("file", help="CSV: name,wcet,period[,deadline]")
     tasks.add_argument("--cpus", type=int, default=2)
     tasks.add_argument(
@@ -327,9 +667,48 @@ def build_parser() -> argparse.ArgumentParser:
     tasks.add_argument("--tick", type=int, default=None)
     tasks.set_defaults(func=_cmd_tasks)
 
-    trace = commands.add_parser("trace", help="lint a JSON trace for races/deadlocks")
+    trace = commands.add_parser(
+        "trace", help="lint a JSON trace for races/deadlocks", parents=[fmt]
+    )
     trace.add_argument("file", help="trace JSON (repro.trace.export.trace_to_json)")
     trace.set_defaults(func=_cmd_trace)
+
+    audit = commands.add_parser(
+        "audit",
+        help="verify asmlib kernels: measured <= verified <= annotated WCET",
+        parents=[fmt],
+    )
+    audit.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        help="kernel to audit (repeatable; default: all asmlib kernels)",
+    )
+    audit.add_argument(
+        "--seed",
+        action="append",
+        type=int,
+        default=[],
+        help="driver data seed (repeatable; default: 1)",
+    )
+    audit.add_argument(
+        "--routines",
+        action="store_true",
+        help="audit routine contracts standalone (no executor run)",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    determinism = commands.add_parser(
+        "determinism",
+        help="AST lint for nondeterminism in simulator hot paths",
+        parents=[fmt],
+    )
+    determinism.add_argument(
+        "path",
+        nargs="*",
+        help="files/directories to scan (default: src/repro/{sim,hw,kernel})",
+    )
+    determinism.set_defaults(func=_cmd_determinism)
     return parser
 
 
@@ -340,8 +719,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return self_check()
     if not getattr(args, "command", None):
         parser.print_help(sys.stderr)
-        return 2
-    return args.func(args)
+        return EXIT_ERROR
+    try:
+        return args.func(args)
+    except _InputError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_ERROR
+    except Exception as exc:  # crash, not a finding: distinct exit code for CI
+        print(f"repro-lint: internal error: {exc!r}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

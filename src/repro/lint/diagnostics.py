@@ -44,6 +44,20 @@ class Diagnostic:
         hint = f" (hint: {self.hint})" if self.hint else ""
         return f"{self.rule} {self.severity}{where}: {self.message}{hint}"
 
+    def to_dict(self) -> dict:
+        """Stable machine-readable form used by ``--format json``.
+
+        The key set (``rule``/``severity``/``message``/``location``/
+        ``hint``) is part of the CLI contract; add keys, never rename.
+        """
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
     def __str__(self) -> str:
         return self.format()
 
@@ -118,6 +132,15 @@ class LintReport:
                 f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable report: diagnostics plus summary counts."""
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "ok": self.ok,
+        }
 
 
 class LintError(Exception):

@@ -1,0 +1,96 @@
+"""Verified WCETs as C_i: the bridge from the abstract-interpretation
+lint pass into the response-time / schedulability pipeline."""
+
+import pytest
+
+from repro.analysis.verified import (
+    DEFAULT_SPECS,
+    KernelTaskSpec,
+    analyse_verified,
+    scale_periods,
+    verified_taskset,
+    verified_wcets,
+)
+
+KERNELS = sorted({spec.kernel for spec in DEFAULT_SPECS})
+
+
+@pytest.fixture(scope="module")
+def bounds():
+    return verified_wcets(KERNELS)
+
+
+class TestVerifiedWcets:
+    def test_covers_requested_kernels(self, bounds):
+        assert sorted(bounds) == KERNELS
+
+    def test_verified_never_exceeds_annotated(self, bounds):
+        for wcet in bounds.values():
+            assert 0 < wcet.verified <= wcet.annotated
+
+    def test_some_kernel_strictly_tighter(self, bounds):
+        assert any(w.verified < w.annotated for w in bounds.values())
+
+    def test_unknown_source_rejected(self, bounds):
+        with pytest.raises(ValueError):
+            next(iter(bounds.values())).cycles("guessed")
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            verified_wcets(["no_such_kernel"])
+
+
+class TestVerifiedTaskset:
+    def test_wcets_follow_the_source(self, bounds):
+        annotated = verified_taskset(wcet_source="annotated")
+        verified = verified_taskset(wcet_source="verified")
+        by_name = {spec.name: spec.kernel for spec in DEFAULT_SPECS}
+        for task_a, task_v in zip(annotated.periodic, verified.periodic):
+            kernel = by_name[task_a.name]
+            assert task_a.wcet == bounds[kernel].annotated
+            assert task_v.wcet == bounds[kernel].verified
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            verified_taskset(wcet_source="vibes")
+
+
+class TestAnalyseVerified:
+    def test_verified_bounds_admit_default_set(self):
+        result = analyse_verified(wcet_source="verified")
+        assert result.schedulable
+        assert result.report is not None
+        assert result.report.total_utilization < 1.0
+
+    def test_annotated_bounds_reject_default_set(self):
+        """The headline effect: same tasks, same periods, but the padded
+        annotation bounds overload two processors."""
+        result = analyse_verified(wcet_source="annotated")
+        assert not result.schedulable
+        assert result.error is not None
+
+    def test_relaxed_periods_admit_both(self):
+        specs = scale_periods(DEFAULT_SPECS, 4.0)
+        for source in ("verified", "annotated"):
+            assert analyse_verified(specs=specs, wcet_source=source).schedulable
+
+    def test_impossible_deadline_is_a_verdict_not_a_crash(self):
+        spec = KernelTaskSpec(name="rush", kernel="popcount32", period=10)
+        result = analyse_verified(specs=(spec,), n_cpus=1)
+        assert not result.schedulable and result.error
+
+
+def test_scale_periods_scales_deadlines_too():
+    spec = KernelTaskSpec(name="t", kernel="popcount32", period=100, deadline=80)
+    (scaled,) = scale_periods((spec,), 2.0)
+    assert scaled.period == 200 and scaled.deadline == 160
+
+
+def test_verified_wcet_sweep_row_shape():
+    from repro.experiments.runner import verified_wcet_sweep
+
+    result = verified_wcet_sweep(period_scales=(1.0, 4.0))
+    rows = {row["period_scale"]: row for row in result.rows}
+    assert rows[1.0]["verified_only"] is True
+    assert rows[4.0]["verified_only"] is False
+    assert rows[4.0]["annotated_schedulable"] is True

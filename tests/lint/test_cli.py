@@ -1,6 +1,7 @@
 """The repro-lint command line front end and its self-check smoke mode."""
 
 import io
+import json
 
 import pytest
 
@@ -108,11 +109,129 @@ def test_no_command_prints_help():
 
 
 @pytest.mark.parametrize("command", ["asm", "tasks", "trace"])
-def test_missing_file_is_a_clean_error(command, tmp_path, capsys):
-    assert main([command, str(tmp_path / "missing")]) == 1
+def test_missing_file_is_an_operational_error(command, tmp_path, capsys):
+    """Exit 2 (tool could not run), distinct from exit 1 (findings)."""
+    assert main([command, str(tmp_path / "missing")]) == 2
     assert "cannot read" in capsys.readouterr().err
 
 
 def test_empty_asm_file_reports_asm005(tmp_path, capsys):
     assert main(["asm", write(tmp_path, "empty.s", "")]) == 1
     assert "ASM005" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_clean_asm_json(self, tmp_path, capsys):
+        path = write(tmp_path, "good.s", GOOD_ASM)
+        assert main(["asm", path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "asm"
+        assert payload["report"] == {
+            "diagnostics": [],
+            "errors": 0,
+            "warnings": 0,
+            "ok": True,
+        }
+
+    def test_findings_carry_stable_schema(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.s", BAD_ASM)
+        assert main(["asm", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        diag = payload["report"]["diagnostics"][0]
+        assert set(diag) == {"rule", "severity", "message", "location", "hint"}
+        assert diag["rule"] == "ASM001" and diag["severity"] == "error"
+
+    def test_trace_json(self, tmp_path, capsys):
+        trace = TraceRecorder()
+        trace.record(10, "access", cpu=0, info="addr=0x40010000 op=write")
+        trace.record(20, "access", cpu=1, info="addr=0x40010000 op=write")
+        path = write(tmp_path, "racy.json", trace_to_json(trace))
+        assert main(["trace", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = [d["rule"] for d in payload["report"]["diagnostics"]]
+        assert "RACE001" in rules
+
+    def test_tasks_json(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.csv", GOOD_CSV)
+        assert main(["tasks", path, "--cpus", "2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]["ok"] and payload["taskset"]["ok"]
+
+
+class TestVerifiedFlag:
+    ANNOTATED = (
+        "    addi r3, r0, 5\n"
+        "loop:   #@ bound=5\n"
+        "    addi r3, r3, -1\n"
+        "    bnez r3, loop\n"
+        "    halt\n"
+    )
+
+    def test_verified_bound_printed(self, tmp_path, capsys):
+        path = write(tmp_path, "ann.s", self.ANNOTATED)
+        assert main(["asm", path, "--verified"]) == 0
+        assert "verified WCET bound:" in capsys.readouterr().out
+
+    def test_verified_json_payload(self, tmp_path, capsys):
+        path = write(tmp_path, "ann.s", self.ANNOTATED)
+        assert main(["asm", path, "--verified", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        verified = payload["verified"]
+        assert verified["ok"]
+        assert verified["verified_cycles"] <= verified["annotated_cycles"]
+
+    def test_unsound_annotation_fails(self, tmp_path, capsys):
+        source = self.ANNOTATED.replace("bound=5", "bound=3")
+        path = write(tmp_path, "bad.s", source)
+        assert main(["asm", path, "--verified"]) == 1
+
+
+class TestAuditCommand:
+    def test_single_kernel_audit(self, capsys):
+        assert main(["audit", "--kernel", "popcount32"]) == 0
+        out = capsys.readouterr().out
+        assert "popcount32" in out and "ver/meas" in out
+
+    def test_unknown_kernel_is_operational_error(self, capsys):
+        assert main(["audit", "--kernel", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_audit_json(self, capsys):
+        assert main(["audit", "--kernel", "popcount32", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        audit = payload["audits"][0]
+        assert audit["measured"] <= audit["verified"] <= audit["annotated"]
+        assert all(check["ok"] for check in audit["checks"])
+
+    def test_routine_mode(self, capsys):
+        assert main(["audit", "--kernel", "crc32_word", "--routines"]) == 0
+        out = capsys.readouterr().out
+        assert "routine audit: crc32_word" in out and "counted=True" in out
+
+
+class TestDeterminismCommand:
+    def test_default_paths_are_clean(self, capsys):
+        assert main(["determinism"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_file_fails(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "import time\nx = time.time()\n")
+        assert main(["determinism", path]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "for x in set(items):\n    pass\n")
+        assert main(["determinism", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["diagnostics"][0]["rule"] == "DET003"
+
+    def test_missing_path_is_operational_error(self, tmp_path, capsys):
+        assert main(["determinism", str(tmp_path / "missing.py")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+def test_internal_crash_exits_2(tmp_path, capsys):
+    """Malformed trace JSON crashes the loader: exit 2, not a finding."""
+    path = write(tmp_path, "broken.json", "{not json")
+    assert main(["trace", path]) == 2
+    assert "internal error" in capsys.readouterr().err

@@ -174,6 +174,94 @@ class TestDeadlockDetection:
         assert report.clean
 
 
+# ---------------------------------------------------- release/unlock parity
+#: Scenarios whose verdict must not depend on the lock-release spelling.
+#: Each is (name, events) with ``release`` as a placeholder kind that the
+#: parametrised test rewrites to either spelling.
+_RELEASE_SCENARIOS = [
+    (
+        "guarded_clean",
+        [
+            (0, "acquire", 0, "lock=2"),
+            (1, "access", 0, "addr=0x40010000 op=write"),
+            (2, "release", 0, "lock=2"),
+            (10, "acquire", 1, "lock=2"),
+            (11, "access", 1, "addr=0x40010000 op=write"),
+            (12, "release", 1, "lock=2"),
+        ],
+    ),
+    (
+        "disjoint_locks_race",
+        [
+            (0, "acquire", 0, "lock=1"),
+            (1, "access", 0, "addr=0x40010000 op=write"),
+            (2, "release", 0, "lock=1"),
+            (10, "acquire", 1, "lock=2"),
+            (11, "access", 1, "addr=0x40010000 op=write"),
+            (12, "release", 1, "lock=2"),
+        ],
+    ),
+    (
+        "lock_order_deadlock",
+        [
+            (0, "acquire", 0, "lock=0"),
+            (1, "acquire", 0, "lock=1"),
+            (2, "release", 0, "lock=1"),
+            (3, "release", 0, "lock=0"),
+            (4, "acquire", 1, "lock=1"),
+            (5, "acquire", 1, "lock=0"),
+            (6, "release", 1, "lock=0"),
+            (7, "release", 1, "lock=1"),
+        ],
+    ),
+    (
+        "release_without_acquire",
+        [(0, "release", 0, "lock=3")],
+    ),
+]
+
+
+class TestReleaseUnlockEquivalence:
+    """Legacy ``release lock=N`` and new ``unlock lock=N`` are synonyms:
+    both accepted, identical verdicts, rule for rule."""
+
+    @staticmethod
+    def _spelled(events, spelling):
+        return trace_of(
+            *(
+                (time, spelling if kind == "release" else kind, cpu, info)
+                for time, kind, cpu, info in events
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "name,events", _RELEASE_SCENARIOS, ids=[n for n, _ in _RELEASE_SCENARIOS]
+    )
+    def test_identical_verdicts(self, name, events):
+        legacy = lint_trace(self._spelled(events, "release"))
+        modern = lint_trace(self._spelled(events, "unlock"))
+        assert legacy.rules() == modern.rules()
+        assert legacy.ok == modern.ok and legacy.clean == modern.clean
+        assert len(legacy) == len(modern)
+
+    def test_expected_verdicts_per_scenario(self):
+        verdicts = {
+            name: lint_trace(self._spelled(events, "unlock")).rules()
+            for name, events in _RELEASE_SCENARIOS
+        }
+        assert verdicts["guarded_clean"] == []
+        assert "RACE001" in verdicts["disjoint_locks_race"]
+        assert "DEAD001" in verdicts["lock_order_deadlock"]
+        assert "RACE003" in verdicts["release_without_acquire"]
+
+    def test_payload_less_release_is_scheduler_event(self):
+        """Bare ``release`` (no lock=) is a job release: ignored by the
+        checker under the legacy spelling, never treated as an unlock."""
+        trace = TraceRecorder()
+        trace.record(0, "release", job="wheel-speed#0")
+        assert lint_trace(trace).clean
+
+
 # ------------------------------------------------------------- integration
 class TestEmissionIntegration:
     def test_sync_engine_emits_checkable_deadlock_trace(self):
