@@ -9,10 +9,12 @@ information for both our target architecture and the simulator".
 from repro.analysis.response_time import (
     ResponseTimeResult,
     busy_period_recurrence,
+    fault_aware_response_time,
     worst_case_response_time,
 )
 from repro.analysis.promotion import assign_promotions, promotion_time
 from repro.analysis.schedulability import (
+    FaultModel,
     SchedulabilityReport,
     analyse_taskset,
     liu_layland_bound,
@@ -48,6 +50,8 @@ from repro.analysis.verified import (
 __all__ = [
     "worst_case_response_time",
     "busy_period_recurrence",
+    "fault_aware_response_time",
+    "FaultModel",
     "ResponseTimeResult",
     "promotion_time",
     "assign_promotions",

@@ -155,6 +155,64 @@ def busy_period_recurrence(
     )
 
 
+def fault_aware_response_time(
+    task: PeriodicTask,
+    local_tasks: Sequence[PeriodicTask],
+    min_interarrival: int,
+    recovery_cost: Optional[int] = None,
+    max_iterations: int = 10_000,
+) -> ResponseTimeResult:
+    """W_i under a transient-fault arrival assumption (docs/FAULTS.md).
+
+    Burns/Punnekkat-style extension of the busy-period recurrence: with
+    at most one fault every ``min_interarrival`` (F) cycles, a busy
+    period of length w suffers ``1 + floor(w / F)`` faults, each
+    costing one recovery:
+
+        w = C_i + (1 + floor(w / F)) * C_rec
+                + sum_{j in hp(i)} ceil(w / T_j) * C_j
+
+    ``recovery_cost`` (C_rec) defaults to the re-execution model: the
+    largest WCET among the task and its higher-priority interferers
+    (any job in the busy period may be the one re-executed).  The term
+    is monotone in w, so the iteration converges to the least fixpoint
+    exactly like the fault-free recurrence.
+    """
+    if min_interarrival <= 0:
+        raise ValueError("min_interarrival must be positive")
+    if recovery_cost is not None and recovery_cost < 0:
+        raise ValueError("recovery_cost must be non-negative")
+    interferers = higher_priority_tasks(task, local_tasks)
+    cost = recovery_cost
+    if cost is None:
+        cost = max([task.wcet] + [other.wcet for other in interferers])
+    limit = task.deadline
+    w = 0
+    for iteration in range(1, max_iterations + 1):
+        faults = 1 + w // min_interarrival
+        w_next = task.wcet + faults * cost + sum(
+            math.ceil(w / other.period) * other.wcet for other in interferers
+        )
+        if w_next > limit:
+            return ResponseTimeResult(
+                task=task.name, wcrt=None, schedulable=False,
+                iterations=iteration,
+            )
+        if w_next == w:
+            return ResponseTimeResult(
+                task=task.name, wcrt=w, schedulable=True,
+                iterations=iteration,
+            )
+        w = w_next
+    interferer_util = sum(t.wcet / t.period for t in interferers)
+    raise RecurrenceDivergenceError(
+        f"fault-aware recurrence did not converge in {max_iterations} "
+        f"iterations (w={w}, limit={limit}); interferer utilization is "
+        f"{interferer_util:.3f} and the fault term adds "
+        f"{cost}/{min_interarrival} -- the effective load is at or above 1"
+    )
+
+
 def worst_case_response_time(
     task: PeriodicTask, local_tasks: Sequence[PeriodicTask]
 ) -> ResponseTimeResult:

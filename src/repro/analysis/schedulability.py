@@ -9,10 +9,36 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.response_time import response_time_table
+from repro.analysis.response_time import (
+    fault_aware_response_time,
+    response_time_table,
+)
 from repro.core.task import PeriodicTask, TaskSet
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Transient-fault arrival assumption for fault-aware RTA.
+
+    ``min_interarrival`` (F) bounds the arrival rate: at most one
+    fault per F cycles hits any processor.  ``recovery_cost`` is the
+    cycles one recovery costs; None selects the re-execution model
+    (the largest WCET among the task under analysis and its
+    higher-priority set).  See docs/FAULTS.md for the math and for how
+    campaign plans are matched against a model
+    (:meth:`repro.faults.plan.FaultPlan.min_interarrival`).
+    """
+
+    min_interarrival: int
+    recovery_cost: Optional[int] = None
+
+    def __post_init__(self):
+        if self.min_interarrival <= 0:
+            raise ValueError("min_interarrival must be positive")
+        if self.recovery_cost is not None and self.recovery_cost < 0:
+            raise ValueError("recovery_cost must be non-negative")
 
 
 def liu_layland_bound(n: int) -> float:
@@ -74,8 +100,20 @@ class SchedulabilityReport:
         return "\n".join(lines)
 
 
-def analyse_taskset(taskset: TaskSet, n_cpus: int) -> SchedulabilityReport:
-    """Exact (response-time based) schedulability of the partition."""
+def analyse_taskset(
+    taskset: TaskSet,
+    n_cpus: int,
+    fault_model: Optional[FaultModel] = None,
+) -> SchedulabilityReport:
+    """Exact (response-time based) schedulability of the partition.
+
+    With a ``fault_model`` each row additionally carries
+    ``wcrt_faulty`` -- the worst-case response time including
+    re-execution overhead under the model's fault arrival rate -- and
+    the verdict is the conjunction of fault-free and fault-aware
+    schedulability (the fault-aware term dominates, but both are
+    reported so headroom is visible).
+    """
     groups: Dict[int, List[PeriodicTask]] = {cpu: [] for cpu in range(n_cpus)}
     for task in taskset.periodic:
         if not 0 <= task.cpu < n_cpus:
@@ -91,16 +129,24 @@ def analyse_taskset(taskset: TaskSet, n_cpus: int) -> SchedulabilityReport:
     for cpu, tasks in groups.items():
         rows = []
         for result, task in zip(response_time_table(tasks), tasks):
-            rows.append(
-                {
-                    "task": task.name,
-                    "wcet": task.wcet,
-                    "deadline": task.deadline,
-                    "wcrt": result.wcrt,
-                    "schedulable": result.schedulable,
-                }
-            )
-            if not result.schedulable:
+            row = {
+                "task": task.name,
+                "wcet": task.wcet,
+                "deadline": task.deadline,
+                "wcrt": result.wcrt,
+                "schedulable": result.schedulable,
+            }
+            if fault_model is not None:
+                faulty = fault_aware_response_time(
+                    task,
+                    tasks,
+                    min_interarrival=fault_model.min_interarrival,
+                    recovery_cost=fault_model.recovery_cost,
+                )
+                row["wcrt_faulty"] = faulty.wcrt
+                row["schedulable"] = row["schedulable"] and faulty.schedulable
+            rows.append(row)
+            if not row["schedulable"]:
                 report.schedulable = False
         report.per_cpu[cpu] = rows
     return report

@@ -165,6 +165,7 @@ def analyse_verified(
     wcet_source: str = "verified",
     seed: int = 1,
     tick: Optional[int] = None,
+    fault_model=None,
 ) -> VerifiedAnalysis:
     """Partition + response-time analysis with lint-derived C_i.
 
@@ -172,6 +173,11 @@ def analyse_verified(
     utilization above 1), the verdict is "not schedulable" with the
     partitioning error recorded rather than an exception -- the sweep
     over period scales deliberately crosses that boundary.
+
+    ``fault_model`` (a :class:`repro.analysis.schedulability.FaultModel`)
+    additionally charges re-execution overhead per assumed transient
+    fault, answering "still schedulable with the verified C_i *and* a
+    fault every F cycles?".
     """
     bounds = verified_wcets({spec.kernel for spec in specs}, seed=seed)
     try:
@@ -188,7 +194,7 @@ def analyse_verified(
             report=None,
             error=str(exc),
         )
-    report = analyse_taskset(taskset, n_cpus)
+    report = analyse_taskset(taskset, n_cpus, fault_model=fault_model)
     return VerifiedAnalysis(
         wcet_source=wcet_source,
         wcets=bounds,

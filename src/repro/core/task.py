@@ -206,6 +206,10 @@ class Job:
         self.preemptions = 0
         self.migrations = 0
         self._last_cpu: Optional[int] = None
+        # Fault/recovery bookkeeping (repro.faults; see docs/FAULTS.md).
+        self.retries = 0
+        self.invalid = False
+        self.shed = False
 
     # -- classification -------------------------------------------------------
     @property

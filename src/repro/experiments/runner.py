@@ -438,3 +438,90 @@ def _verified_measure(period_scale: float, n_cpus: int) -> Dict[str, Any]:
         row["verified_schedulable"] and not row["annotated_schedulable"]
     )
     return row
+
+
+# -------------------------------------------------------------- fault campaigns
+def _fault_campaign_cell(
+    seed: int,
+    recovery_on: bool,
+    until: int,
+    n_faults: int,
+    min_gap: int,
+) -> Dict[str, Any]:
+    """One campaign run (module-level so ``pmap`` can pickle it).
+
+    The plan is regenerated from the seed inside the cell, so the cell
+    is a pure function of its (cache-keyed) parameters.
+    """
+    from repro.faults.plan import random_plan
+    from repro.faults.scenarios import campaign_cell, demo_taskset
+
+    taskset = demo_taskset()
+    wcets = {task.name: task.wcet for task in taskset.periodic}
+    plan = random_plan(
+        seed=seed, horizon=until, tasks=wcets, n_cpus=2,
+        n_faults=n_faults, min_gap=min_gap,
+    )
+    recovery = {"enabled": True} if recovery_on else None
+    return campaign_cell(
+        {"plan": plan.to_dict(), "recovery": recovery, "until": until}
+    )
+
+
+def fault_campaign(
+    n_runs: int = 4,
+    seed: int = 0,
+    recovery: bool = True,
+    until: int = 400_000,
+    n_faults: int = 4,
+    min_gap: int = 0,
+    max_workers: int = 1,
+    cache: Optional[RunCache] = None,
+    perfetto_out: Optional[str] = None,
+) -> SweepResult:
+    """N seeded fault-injection runs over the ``pmap`` pool.
+
+    Each cell injects a fresh :func:`repro.faults.plan.random_plan`
+    (seeds ``seed .. seed+n_runs-1``) into the demo workload and
+    reports miss/recovery/degradation statistics.  Cells are cached
+    under their (seed, knobs) key like every other sweep, so repeated
+    campaigns only pay for new seeds.  ``min_gap`` spaces kernel-level
+    faults so campaigns can be matched against a
+    :class:`repro.analysis.schedulability.FaultModel`.
+
+    ``perfetto_out`` additionally re-runs the first seed with a full
+    trace and writes a Perfetto-loadable file whose instant events
+    mark every injection, consumed fault, retry, shed and deadline
+    miss.
+    """
+    result = sweep(
+        _fault_campaign_cell,
+        {
+            "seed": [seed + i for i in range(n_runs)],
+            "recovery_on": [recovery],
+            "until": [until],
+            "n_faults": [n_faults],
+            "min_gap": [min_gap],
+        },
+        max_workers=max_workers,
+        cache=cache,
+        cache_tag="fault_campaign",
+    )
+    if perfetto_out is not None:
+        from repro.faults.plan import random_plan
+        from repro.faults.scenarios import demo_taskset, run_scenario
+        from repro.obs.perfetto import write_chrome_trace
+
+        taskset = demo_taskset()
+        wcets = {task.name: task.wcet for task in taskset.periodic}
+        plan = random_plan(
+            seed=seed, horizon=until, tasks=wcets, n_cpus=2,
+            n_faults=n_faults, min_gap=min_gap,
+        )
+        traced = run_scenario(
+            plan=plan,
+            recovery={"enabled": True} if recovery else None,
+            until=until,
+        )
+        write_chrome_trace(traced["trace"], perfetto_out, horizon=until)
+    return result

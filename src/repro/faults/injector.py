@@ -1,0 +1,102 @@
+"""Arming a :class:`FaultPlan` against a live run.
+
+The injector is deliberately thin: every fault *mechanism* lives on
+the hardware or kernel model it corrupts (``intc.inject_ipi_fault``,
+``bus.stall``, ``timer.glitch``, ``WordStorage.flip_bit``,
+``kernel.inject_overrun`` / ``inject_crash``), and the injector's only
+job is to schedule those calls at the plan's instants through the sim
+engine.  That keeps the fault-free hot paths at a single ``is None`` /
+boolean check and makes injection itself deterministic: same plan,
+same schedule, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class FaultInjector:
+    """Schedules a plan's events into a kernel-on-SoC run.
+
+    Create after the kernel, call :meth:`arm` before ``kernel.run``.
+    A zero-event plan arms to nothing -- the run is bit-for-bit
+    identical to one without an injector.
+    """
+
+    def __init__(self, kernel, plan: FaultPlan):
+        self.kernel = kernel
+        self.plan = plan
+        self.sim = kernel.sim
+        self.soc = kernel.soc
+        self.injected: Dict[str, int] = {}
+        #: Register upsets that hit an idle cpu (no job to corrupt).
+        self.benign_upsets = 0
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every plan event (idempotence-guarded)."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        now = self.sim.now
+        for event in self.plan.events:
+            if event.time < now:
+                raise ValueError(
+                    f"fault at {event.time} is in the past (now={now})"
+                )
+            self.sim.schedule_at(event.time, lambda e=event: self._fire(e))
+
+    def _fire(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "ipi_drop":
+            self.soc.intc.inject_ipi_fault(
+                "drop", until=self.sim.now + event.duration
+            )
+        elif kind == "ipi_duplicate":
+            self.soc.intc.inject_ipi_fault(
+                "duplicate", until=self.sim.now + event.duration
+            )
+        elif kind == "ipi_delay":
+            self.soc.intc.inject_ipi_fault(
+                "delay", until=self.sim.now + event.duration, arg=event.arg
+            )
+        elif kind == "bus_stall":
+            self.sim.process(
+                self.soc.bus.stall(event.duration), name="fault-bus-stall"
+            )
+        elif kind == "timer_glitch":
+            self.soc.timer.glitch(event.arg)
+        elif kind == "bitflip_memory":
+            self.soc.ddr.flip_bit(event.addr, event.arg)
+        elif kind == "bitflip_register":
+            core = self.soc.cores[event.cpu]
+            core.register_upset()
+            # The upset corrupts whatever computation the core is
+            # running; at this abstraction that is "the current job's
+            # output is invalid", i.e. a crash fault on its task.
+            task = self.kernel.running_task_on(event.cpu)
+            if task is not None:
+                self.kernel.inject_crash(task)
+            else:
+                self.benign_upsets += 1
+        elif kind == "wcet_overrun":
+            self.kernel.inject_overrun(event.task, event.arg)
+        elif kind == "task_crash":
+            self.kernel.inject_crash(event.task)
+        else:  # pragma: no cover - plan validation rejects these
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        self.kernel.trace.record(
+            self.sim.now, "fault_injected", cpu=event.cpu, info=kind
+        )
+
+    def stats(self) -> dict:
+        """Injection accounting for reports and campaign cells."""
+        return {
+            "planned": len(self.plan),
+            "fired": sum(self.injected.values()),
+            "by_kind": dict(sorted(self.injected.items())),
+            "benign_upsets": self.benign_upsets,
+        }

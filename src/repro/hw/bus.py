@@ -42,6 +42,8 @@ class BusStats:
     wait_cycles: Dict[int, int] = field(default_factory=dict)
     transfer_cycles: Dict[int, int] = field(default_factory=dict)
     per_target: Dict[str, int] = field(default_factory=dict)
+    stalls_injected: int = 0
+    stall_cycles: int = 0
 
     def utilization(self, elapsed: int) -> float:
         """Fraction of elapsed cycles the bus was occupied."""
@@ -102,6 +104,31 @@ class OPBBus:
             self.stats.per_target.get(target.name, 0) + latency
         )
         return waited + latency
+
+    #: Arbitration priority of injected stalls: beats every real master
+    #: (lower wins), modelling a glitching device that hogs grant.
+    STALL_PRIORITY = -1
+
+    def stall(self, cycles: int):
+        """Generator: transient-fault surface -- occupy the bus.
+
+        Run inside a ``sim.process``; grabs the arbiter at a priority
+        above every master and holds it for ``cycles``, so real
+        transfers queue behind the burst exactly as behind a misbehaving
+        peripheral.  Accounted separately from useful traffic in
+        ``stats.stall_cycles``.
+        """
+        if cycles <= 0:
+            raise ValueError("stall cycles must be positive")
+        request = self._arbiter.request(priority=self.STALL_PRIORITY)
+        try:
+            yield request
+            yield self.sim.timeout(cycles)
+        finally:
+            self._arbiter.release(request)
+        self.stats.busy_cycles += cycles
+        self.stats.stalls_injected += 1
+        self.stats.stall_cycles += cycles
 
     def read_word(self, master: int, target, addr: int):
         """Generator: arbitrated single-word read returning the value."""

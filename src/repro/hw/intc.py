@@ -138,6 +138,13 @@ class MultiprocessorInterruptController:
         self.ipis_sent = 0
         self.max_parallel_handlers = 0
 
+        # Transient-fault surface (armed by repro.faults).  ``None`` on
+        # the fault-free path, so delivery pays one attribute check.
+        self._ipi_fault: Optional[tuple] = None  # (mode, until, arg)
+        self.ipis_dropped = 0
+        self.ipis_duplicated = 0
+        self.ipis_delayed = 0
+
     # ----------------------------------------------------------- configuration
     def connect_cpu(self, cpu: int, line_callback: Callable[[bool], None]) -> None:
         """Attach a core's interrupt line (called with True/False)."""
@@ -208,8 +215,58 @@ class MultiprocessorInterruptController:
         self.ipis_sent += 1
         source = self._ipi_source(from_cpu)
         pending = PendingInterrupt(source, payload, raised_at=self.sim.now, offered_to=to_cpu)
+        if self._ipi_fault is not None and not self._apply_ipi_fault(pending, to_cpu):
+            return
         self._offers[to_cpu].append(pending)
         self._update_line(to_cpu)
+
+    # -------------------------------------------------------- fault injection
+    def inject_ipi_fault(self, mode: str, until: int, arg: int = 0) -> None:
+        """Arm an IPI delivery-fault window (transient-fault surface).
+
+        Every IPI sent while ``sim.now <= until`` is affected:
+        ``"drop"`` loses it, ``"duplicate"`` delivers it twice,
+        ``"delay"`` defers delivery by ``arg`` cycles.  The window
+        disarms itself on the first send past ``until``; only one
+        window can be active at a time (last call wins).
+        """
+        if mode not in ("drop", "duplicate", "delay"):
+            raise ValueError(f"unknown ipi fault mode {mode!r}")
+        if mode == "delay" and arg <= 0:
+            raise ValueError("delay faults need arg > 0 cycles")
+        self._ipi_fault = (mode, until, arg)
+
+    def clear_ipi_fault(self) -> None:
+        """Disarm any active IPI fault window."""
+        self._ipi_fault = None
+
+    def _apply_ipi_fault(self, pending: PendingInterrupt, to_cpu: int) -> bool:
+        """Apply the armed fault; returns True when normal delivery
+        should still happen (window expired, or duplicate mode)."""
+        mode, until, arg = self._ipi_fault
+        if self.sim.now > until:
+            self._ipi_fault = None
+            return True
+        if mode == "drop":
+            self.ipis_dropped += 1
+            return False
+        if mode == "duplicate":
+            self.ipis_duplicated += 1
+            dup = PendingInterrupt(
+                pending.source, pending.payload,
+                raised_at=self.sim.now, offered_to=to_cpu,
+            )
+            self._offers[to_cpu].append(dup)
+            return True
+        # delay: enqueue after ``arg`` cycles instead of now.
+        self.ipis_delayed += 1
+
+        def deliver(pending=pending, to_cpu=to_cpu):
+            self._offers[to_cpu].append(pending)
+            self._update_line(to_cpu)
+
+        self.sim.schedule(arg, deliver)
+        return False
 
     _ipi_sources: Dict[int, InterruptSource] = None  # set lazily per instance
 

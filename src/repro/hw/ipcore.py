@@ -83,15 +83,26 @@ class IPCore:
         return self._busy
 
     def submit(self, cpu: int, payload: Any = None):
-        """Generator: offload a job from ``cpu``.
+        """Offload a job from ``cpu``; returns a generator to drive.
 
         Books the completion interrupt to the submitting processor,
         writes the descriptor over the bus, and starts the computation.
-        Returns the :class:`OffloadJob` handle.
+        The generator returns the :class:`OffloadJob` handle.
+
+        The busy check and reservation happen *at call time*, not on
+        first iteration, so a double-submit while a job is in flight
+        (or two submits created back-to-back before either runs) fails
+        loudly instead of clobbering the in-flight job.
         """
         if self._busy:
-            raise RuntimeError(f"{self.name} is busy; single-context core")
+            raise RuntimeError(
+                f"{self.name} is busy; single-context core "
+                f"(wait for the completion interrupt before resubmitting)"
+            )
         self._busy = True
+        return self._submit(cpu, payload)
+
+    def _submit(self, cpu: int, payload: Any):
         self.intc.book(self.source, cpu)
         yield from self.bus.transfer(cpu, self.registers, self.DESCRIPTOR_WORDS)
         job = OffloadJob(

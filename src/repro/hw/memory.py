@@ -29,6 +29,7 @@ class WordStorage:
         self.size = size
         self.name = name
         self._words: Dict[int, int] = {}
+        self.bitflips = 0
 
     def contains(self, addr: int) -> bool:
         return self.base <= addr < self.base + self.size
@@ -55,6 +56,21 @@ class WordStorage:
         """Bulk initialisation from an iterable of words."""
         for i, word in enumerate(words):
             self.write_word(addr + 4 * i, word)
+
+    def flip_bit(self, addr: int, bit: int) -> int:
+        """Transient-fault surface: XOR one bit of the stored word.
+
+        Models an SEU in the memory array.  Returns the corrupted
+        value.  Address checking is the same as a normal access; the
+        flip itself is free (it is an environmental event, not a bus
+        transaction).
+        """
+        if not 0 <= bit < 32:
+            raise ValueError("bit must be in [0, 32)")
+        value = self.read_word(addr) ^ (1 << bit)
+        self._words[self._index(addr)] = value
+        self.bitflips += 1
+        return value
 
 
 class LocalBRAM(WordStorage):

@@ -130,6 +130,20 @@ class MicroBlaze:
         self.nominal_cycles = 0
         self.stall_cycles = 0
         self._access_residue = 0.0
+        self.register_upsets = 0
+
+    def register_upset(self) -> int:
+        """Transient-fault surface: record a register-file bit-flip.
+
+        At the scheduling abstraction there is no architectural
+        register file to corrupt, so the upset is accounted here and
+        its *effect* -- silently corrupted task output, detected at
+        completion -- is mapped by the injector onto the job currently
+        running on this core (see :mod:`repro.faults.injector`).
+        Returns the running total.
+        """
+        self.register_upsets += 1
+        return self.register_upsets
 
     # -------------------------------------------------------------- interrupts
     def on_interrupt_line(self, asserted: bool) -> None:

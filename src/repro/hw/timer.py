@@ -33,6 +33,8 @@ class SystemTimer:
         self.intc = intc
         self.period = period
         self.ticks = 0
+        self.glitches = 0
+        self._suppress = 0
         self._running = False
         #: Absolute cycle of the next pending tick (None while stopped).
         #: Cores use this as the adaptive-chunking preemption hint: no
@@ -56,11 +58,28 @@ class SystemTimer:
         self._running = False
         self.next_tick = None
 
+    def glitch(self, ticks: int = 1) -> None:
+        """Transient-fault surface: swallow the next ``ticks`` tick(s).
+
+        A glitched tick keeps the period cadence (``next_tick`` still
+        advances, so chunking hints stay honest) but raises no
+        interrupt -- the scheduling cycle it would have triggered is
+        simply lost, as with an EMI-suppressed timer line.
+        """
+        if ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        self._suppress += ticks
+
     def _tick(self) -> None:
         if not self._running:
             self.next_tick = None
             return
-        self.ticks += 1
         self.next_tick = self.sim.now + self.period
+        if self._suppress > 0:
+            self._suppress -= 1
+            self.glitches += 1
+            self.sim.schedule(self.period, self._tick)
+            return
+        self.ticks += 1
         self.intc.raise_interrupt(self.source, payload={"kind": "timer", "tick": self.ticks})
         self.sim.schedule(self.period, self._tick)

@@ -34,14 +34,51 @@ KERNEL_LOCK = 0
 
 @dataclass(frozen=True)
 class TaskBinding:
-    """Per-task execution characterisation for the hardware model."""
+    """Per-task execution characterisation for the hardware model.
+
+    ``criticality`` and ``retry_budget`` feed the fault-recovery
+    machinery (docs/FAULTS.md): higher criticality survives graceful
+    degradation longer, and ``retry_budget`` bounds per-instance
+    re-execution after a detected crash fault.
+    """
 
     profile: ExecutionProfile = DEFAULT_PROFILE
     stack_words: int = 256
+    criticality: int = 1
+    retry_budget: int = 1
 
     def __post_init__(self):
         if self.stack_words < 0:
             raise ValueError("stack_words must be non-negative")
+        if self.criticality < 0:
+            raise ValueError("criticality must be non-negative")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Fault-recovery policy of the microkernel (docs/FAULTS.md).
+
+    The deadline-miss watchdog is always armed (it is pure
+    observability); this config only governs the *actions* taken when
+    faults are detected.  ``enabled`` turns on bounded re-execution of
+    crashed jobs; ``degradation_threshold`` (> 0) arms graceful
+    degradation: once that many kernel-level faults have been
+    consumed, periodic tasks with ``criticality <
+    shed_below_criticality`` are shed at release time until the end of
+    the run.
+    """
+
+    enabled: bool = False
+    degradation_threshold: int = 0
+    shed_below_criticality: int = 1
+
+    def __post_init__(self):
+        if self.degradation_threshold < 0:
+            raise ValueError("degradation_threshold must be non-negative")
+        if self.shed_below_criticality < 0:
+            raise ValueError("shed_below_criticality must be non-negative")
 
 
 class DualPriorityMicrokernel:
@@ -55,6 +92,7 @@ class DualPriorityMicrokernel:
         costs: Optional[KernelCosts] = None,
         trace: Optional[TraceRecorder] = None,
         metrics=None,
+        recovery: Optional[RecoveryConfig] = None,
     ):
         self.soc = soc
         self.sim = soc.sim
@@ -87,6 +125,22 @@ class DualPriorityMicrokernel:
         self.aperiodic_releases = 0
         self.irqs_serviced = 0
         self._started = False
+
+        # Fault-recovery state (docs/FAULTS.md).  ``_faults_armed``
+        # stays False until an injection lands, so fault-free runs pay
+        # one boolean check per dispatch/completion and nothing else.
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
+        self.deadline_misses = 0
+        self.faults_injected = 0
+        self.task_retries = 0
+        self.crashes_unrecovered = 0
+        self.jobs_shed = 0
+        self.degraded = False
+        self._faults_armed = False
+        self._pending_overruns: Dict[str, List[int]] = {}
+        self._pending_crashes: Dict[str, int] = {}
+        self._fault_count = 0
+        self._shed_tasks: Dict[str, bool] = {}
 
         # Observability (optional MetricsRegistry).  Instrument
         # handles are resolved once here so instrumented runs pay no
@@ -193,12 +247,14 @@ class DualPriorityMicrokernel:
             # Execute the current job, interruptibly.
             self._state[cpu] = "user"
             binding = self._binding_of(job)
+            if self._faults_armed:
+                self._consume_overrun(cpu, job)
             segment = SegmentResult()
             try:
                 yield from core.execute(job.remaining, binding.profile, segment)
                 job.remaining = 0
                 self._enter_kernel(cpu)
-                yield from self._on_completion(cpu, job)
+                yield from self._complete_or_recover(cpu, job)
                 yield from self._switch_to_assigned(cpu)
                 self._leave_kernel(cpu)
             except Interrupt:
@@ -207,7 +263,7 @@ class DualPriorityMicrokernel:
                 if job.remaining <= 0:
                     # Finished in the very cycle the interrupt landed.
                     job.remaining = 0
-                    yield from self._on_completion(cpu, job)
+                    yield from self._complete_or_recover(cpu, job)
                 yield from self._service_interrupts(cpu)
                 yield from self._switch_to_assigned(cpu)
                 self._leave_kernel(cpu)
@@ -277,11 +333,15 @@ class DualPriorityMicrokernel:
         now = self.sim.now
         released = self.policy.release_due(now)
         promoted = self.policy.promote_due(now)
+        moved = len(released) + len(promoted)
         for job in released:
             self.trace.record(now, "release", job=job.name)
         for job in promoted:
             self.trace.record(now, "promote", job=job.name)
-        moved = len(released) + len(promoted)
+        if self._shed_tasks:
+            released = self._shed_released(released, now)
+        for job in released:
+            self._arm_watchdog(job)
         yield self.sim.timeout(self.costs.scheduler_cycle(moved))
         yield from self._queue_traffic(cpu, moved)
 
@@ -340,6 +400,186 @@ class DualPriorityMicrokernel:
         yield from self._notify_switches(cpu, allocation.switches)
         self._unlock_kernel(cpu)
 
+    # ---------------------------------------------------------- fault recovery
+    # Injection entry points (called by repro.faults.injector; the
+    # kernel never imports repro.faults).  Faults are *armed* here and
+    # consumed at well-defined points of the cpu loop, which keeps the
+    # loop's structure -- and therefore fault-free timing -- unchanged.
+
+    def inject_overrun(self, task_name: str, extra: int) -> None:
+        """Arm a WCET-overrun: the next executed segment of this task
+        runs ``extra`` cycles beyond its budget."""
+        if extra <= 0:
+            raise ValueError("overrun extra cycles must be positive")
+        self.taskset.by_name(task_name)
+        self._pending_overruns.setdefault(task_name, []).append(extra)
+        self._faults_armed = True
+
+    def inject_crash(self, task_name: str) -> None:
+        """Arm a crash fault: the next completion of this task is
+        detected as corrupted (silent-data-corruption model)."""
+        self.taskset.by_name(task_name)
+        self._pending_crashes[task_name] = (
+            self._pending_crashes.get(task_name, 0) + 1
+        )
+        self._faults_armed = True
+
+    def running_task_on(self, cpu: int) -> Optional[str]:
+        """Name of the task currently executing on ``cpu`` (or None).
+
+        Used by the injector to map hardware-level upsets (register
+        bit-flips) onto the software-level job they corrupt.
+        """
+        job = self._current[cpu]
+        return job.task.name if job is not None else None
+
+    def _consume_overrun(self, cpu: int, job: Job) -> None:
+        """Apply one armed overrun to the job about to execute."""
+        queue = self._pending_overruns.get(job.task.name)
+        if not queue:
+            return
+        extra = queue.pop(0)
+        job.remaining += extra
+        self._record_fault(cpu, job, f"overrun+{extra}")
+
+    def _complete_or_recover(self, cpu: int, job: Job):
+        """Completion gate: consume an armed crash fault, else finish."""
+        if self._faults_armed and self._pending_crashes.get(job.task.name):
+            yield from self._recover_crash(cpu, job)
+            return
+        yield from self._on_completion(cpu, job)
+
+    def _recover_crash(self, cpu: int, job: Job):
+        """A crash fault fires at completion: retry within budget, or
+        let the instance complete with invalid output."""
+        name = job.task.name
+        remaining = self._pending_crashes[name] - 1
+        if remaining:
+            self._pending_crashes[name] = remaining
+        else:
+            del self._pending_crashes[name]
+        self._record_fault(cpu, job, "crash")
+
+        budget = self._binding_of(job).retry_budget
+        if self.recovery.enabled and job.retries < budget:
+            # Bounded re-execution: restart the instance from scratch.
+            # The job stays current/assigned on this cpu; the loop
+            # re-enters core.execute with a fresh budget.
+            job.retries += 1
+            self.task_retries += 1
+            job.remaining = getattr(job.task, "acet", None) or job.task.wcet
+            yield self.sim.timeout(self.costs.completion)
+            self.trace.record(
+                self.sim.now, "retry", job=job.name, cpu=cpu,
+                info=f"attempt={job.retries}",
+            )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "task_retries_total", labels={"task": name},
+                    help="crashed jobs re-executed by the recovery policy",
+                ).inc()
+            return
+        # Budget exhausted (or recovery disabled): the instance
+        # completes, but its output is corrupt -- the watchdog counts
+        # it as a deadline miss.
+        job.invalid = True
+        self.crashes_unrecovered += 1
+        yield from self._on_completion(cpu, job)
+
+    def _record_fault(self, cpu: int, job: Job, info: str) -> None:
+        """Count + trace one consumed kernel-level fault, and trip
+        graceful degradation at the configured threshold."""
+        self.faults_injected += 1
+        self._fault_count += 1
+        self.trace.record(self.sim.now, "fault", job=job.name, cpu=cpu, info=info)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "kernel_faults_total", labels={"task": job.task.name},
+                help="kernel-level faults consumed (crashes + overruns)",
+            ).inc()
+        if (
+            self.recovery.enabled
+            and not self.degraded
+            and self.recovery.degradation_threshold > 0
+            and self._fault_count >= self.recovery.degradation_threshold
+        ):
+            self._enter_degraded_mode()
+
+    def _enter_degraded_mode(self) -> None:
+        """Sustained faults: shed low-criticality periodic tasks."""
+        self.degraded = True
+        floor = self.recovery.shed_below_criticality
+        for task in self.taskset.periodic:
+            if self._binding_of_name(task.name).criticality < floor:
+                self._shed_tasks[task.name] = True
+        self.trace.record(
+            self.sim.now, "degrade",
+            info=",".join(sorted(self._shed_tasks)) or "none",
+        )
+
+    def _shed_released(self, released: List[Job], now: int) -> List[Job]:
+        """Drop just-released jobs of shed tasks (degraded mode only).
+
+        A shed job is completed instantly at zero cost: removed from
+        the PRQ, marked ``shed``, and run through ``job_finished`` so
+        its next instance still parks in the WPQ (un-shedding future
+        configs stays possible).  In-flight jobs of shed tasks are
+        never aborted -- shedding applies to releases after the
+        degradation point.
+        """
+        kept: List[Job] = []
+        for job in released:
+            if job.task.name in self._shed_tasks:
+                self.policy.periodic_ready.remove(job)
+                job.remaining = 0
+                job.shed = True
+                self.policy.job_finished(job, now)
+                self.jobs_shed += 1
+                self.trace.record(now, "shed", job=job.name)
+            else:
+                kept.append(job)
+        return kept
+
+    # Watchdog: a deadline-miss detector armed at every periodic
+    # release.  It is pure observability -- the callback only reads job
+    # state and bumps counters -- so it is always on and cannot perturb
+    # the schedule.
+
+    def _arm_watchdog(self, job: Job) -> None:
+        deadline = job.absolute_deadline
+        if deadline is None:
+            return
+        # +1: a completion event in the deadline cycle itself must be
+        # seen as a meet (finish_time == deadline is on time).
+        self.sim.schedule_at(deadline + 1, lambda j=job: self._watchdog_check(j))
+
+    def _watchdog_check(self, job: Job) -> None:
+        if job.shed:
+            return
+        deadline = job.absolute_deadline
+        missed = (
+            job.invalid
+            or job.finish_time is None
+            or job.finish_time > deadline
+        )
+        if not missed:
+            return
+        self.deadline_misses += 1
+        self.trace.record(
+            self.sim.now, "deadline_miss", job=job.name, cpu=job.cpu,
+            info="invalid" if job.invalid else "late",
+        )
+        if self.metrics is not None:
+            cpu = job.cpu if job.cpu is not None else getattr(job.task, "cpu", -1)
+            self.metrics.counter(
+                "deadline_misses_total",
+                labels={"task": job.task.name, "cpu": cpu},
+                help="periodic jobs without a valid completion by their deadline",
+            ).inc()
+
+    def _binding_of_name(self, name: str) -> TaskBinding:
+        return self.bindings.get(name, TaskBinding())
+
     def _notify_switches(self, scheduler_cpu: int, switches: List[int]):
         """IPI every processor whose assignment changed (except self)."""
         core = self.soc.cores[scheduler_cpu]
@@ -396,4 +636,10 @@ class DualPriorityMicrokernel:
             "mpic_delivered": self.soc.intc.delivered,
             "mpic_timeouts": self.soc.intc.timeouts,
             "ipis": self.soc.intc.ipis_sent,
+            "deadline_misses": self.deadline_misses,
+            "faults_injected": self.faults_injected,
+            "task_retries": self.task_retries,
+            "crashes_unrecovered": self.crashes_unrecovered,
+            "jobs_shed": self.jobs_shed,
+            "degraded": self.degraded,
         }

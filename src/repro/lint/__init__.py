@@ -53,7 +53,13 @@ from repro.lint.diagnostics import (
     Severity,
     require_ok,
 )
-from repro.lint.tasks import check_taskset, lint_task_rows, lint_taskset
+from repro.lint.tasks import (
+    check_fault_config,
+    check_taskset,
+    lint_fault_config,
+    lint_task_rows,
+    lint_taskset,
+)
 
 __all__ = [
     "AbsintResult",
@@ -76,8 +82,10 @@ __all__ = [
     "audit_kernel",
     "audit_kernels",
     "audit_routine",
+    "check_fault_config",
     "check_taskset",
     "format_audit",
+    "lint_fault_config",
     "lint_paths",
     "lint_program",
     "lint_python_source",

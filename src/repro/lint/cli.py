@@ -361,9 +361,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------- determinism
 def _default_determinism_paths() -> List[str]:
     import repro
+    from repro.lint.determinism import DEFAULT_PATHS
 
     base = Path(repro.__file__).parent
-    return [str(base / name) for name in ("sim", "hw", "kernel")]
+    return [str(base / Path(p).name) for p in DEFAULT_PATHS]
 
 
 def _cmd_determinism(args: argparse.Namespace) -> int:

@@ -52,7 +52,8 @@ WALL_CLOCK_TIME_FNS = frozenset(
 WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
 
 #: Default trees scanned by ``repro-lint determinism`` and the pytest tier.
-DEFAULT_PATHS = ("src/repro/sim", "src/repro/hw", "src/repro/kernel")
+DEFAULT_PATHS = ("src/repro/sim", "src/repro/hw", "src/repro/kernel",
+                 "src/repro/faults")
 
 
 def _dotted(node: ast.AST) -> str:

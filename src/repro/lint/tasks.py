@@ -259,6 +259,126 @@ def lint_taskset(
     return report
 
 
+def lint_fault_config(
+    taskset: TaskSet,
+    bindings: Mapping[str, object],
+    n_cpus: int,
+    recovery=None,
+) -> LintReport:
+    """Lint the fault-recovery configuration (docs/FAULTS.md).
+
+    ``bindings`` maps task name ->
+    :class:`repro.kernel.microkernel.TaskBinding`; ``recovery`` is an
+    optional :class:`repro.kernel.microkernel.RecoveryConfig`.
+
+    TASK010 (error): the retry budget must fit the slack -- a crashed
+    job re-executes up to ``retry_budget`` times at full WCET on top
+    of its fault-free worst-case response time, so
+    ``W_i + retry_budget * C_i`` must stay within ``D_i`` or the
+    recovery policy itself breaks the hard guarantee.
+
+    TASK011: criticality levels must be well-formed -- bindings that
+    name unknown tasks (warning), a degradation config whose shed
+    floor can never shed anything (warning), or one that would shed
+    *every* periodic task on some processor (error: degraded mode
+    must keep a useful system).
+    """
+    report = LintReport()
+    known = {task.name for task in taskset.periodic}
+    for name in sorted(bindings):
+        if name not in known and not any(
+            task.name == name for task in taskset.aperiodic
+        ):
+            report.add(
+                "TASK011",
+                Severity.WARNING,
+                f"binding names unknown task {name!r}",
+                location="fault config",
+                hint="criticality/retry budgets on unknown tasks are dead config",
+            )
+
+    def binding_of(name: str):
+        from repro.kernel.microkernel import TaskBinding
+
+        binding = bindings.get(name)
+        return binding if binding is not None else TaskBinding()
+
+    groups = {cpu: [] for cpu in range(n_cpus)}
+    for task in taskset.periodic:
+        if 0 <= task.cpu < n_cpus:
+            groups[task.cpu].append(task)
+
+    for cpu in sorted(groups):
+        tasks = groups[cpu]
+        if not tasks:
+            continue
+        if sum(t.utilization for t in tasks) >= 1.0:
+            continue  # lint_taskset's TASK002 already rejects the group
+        for task in tasks:
+            budget = binding_of(task.name).retry_budget
+            if budget == 0:
+                continue
+            try:
+                result = worst_case_response_time(task, tasks)
+            except RecurrenceDivergenceError:
+                continue  # TASK003 territory
+            if not result.schedulable:
+                continue
+            worst = result.value + budget * task.wcet
+            if worst > task.deadline:
+                report.add(
+                    "TASK010",
+                    Severity.ERROR,
+                    f"retry budget {budget} does not fit the slack: "
+                    f"W + {budget}*C = {worst} > D = {task.deadline}",
+                    location=f"task {task.name} (cpu {cpu})",
+                    hint="lower retry_budget, shed load, or relax the deadline",
+                )
+
+    if recovery is not None and recovery.degradation_threshold > 0:
+        floor = recovery.shed_below_criticality
+        sheddable = [
+            task.name
+            for task in taskset.periodic
+            if binding_of(task.name).criticality < floor
+        ]
+        if not sheddable:
+            report.add(
+                "TASK011",
+                Severity.WARNING,
+                f"degradation is armed (threshold "
+                f"{recovery.degradation_threshold}) but no periodic task has "
+                f"criticality below the shed floor {floor}; degraded mode "
+                "would shed nothing",
+                location="fault config",
+                hint="mark best-effort tasks with a lower criticality",
+            )
+        for cpu in sorted(groups):
+            tasks = groups[cpu]
+            if tasks and all(
+                binding_of(task.name).criticality < floor for task in tasks
+            ):
+                report.add(
+                    "TASK011",
+                    Severity.ERROR,
+                    f"degraded mode would shed every periodic task on cpu "
+                    f"{cpu} ({', '.join(sorted(t.name for t in tasks))})",
+                    location=f"cpu {cpu}",
+                    hint="keep at least one task at or above the shed floor per cpu",
+                )
+    return report
+
+
+def check_fault_config(
+    taskset: TaskSet, bindings: Mapping[str, object], n_cpus: int, recovery=None
+) -> LintReport:
+    """Fail-fast wrapper over :func:`lint_fault_config`."""
+    return require_ok(
+        lint_fault_config(taskset, bindings, n_cpus, recovery=recovery),
+        subject="fault config",
+    )
+
+
 def check_taskset(
     taskset: TaskSet, n_cpus: int, tick: Optional[int] = None
 ) -> LintReport:

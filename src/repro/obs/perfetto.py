@@ -31,7 +31,9 @@ __all__ = ["trace_to_chrome", "chrome_trace_json", "write_chrome_trace"]
 
 #: Kinds rendered as instants on their cpu track.
 INSTANT_KINDS = ("irq", "tick", "promote", "release", "migrate",
-                 "acquire", "unlock", "barrier", "access")
+                 "acquire", "unlock", "barrier", "access",
+                 "fault_injected", "fault", "deadline_miss", "retry",
+                 "shed", "degrade")
 
 #: The pid all tracks live under.
 SOC_PID = 0

@@ -73,6 +73,10 @@ class RunReport:
     kernel: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
     trace: Dict[str, Any] = field(default_factory=dict)
+    #: Watchdog-detected deadline misses (first-class robustness
+    #: signal; mirrors ``kernel["deadline_misses"]`` for consumers
+    #: that only read the report surface).
+    deadline_misses: int = 0
     version: str = __version__
 
     @classmethod
@@ -104,12 +108,14 @@ class RunReport:
                 "retained": len(retained),
                 "by_kind": dict(sorted(by_kind.items())),
             }
+        kernel = dict(kernel_stats or {})
         return cls(
             label=label,
             params=dict(params or {}),
-            kernel=dict(kernel_stats or {}),
+            kernel=kernel,
             metrics=registry.snapshot(),
             trace=trace_summary,
+            deadline_misses=int(kernel.get("deadline_misses", 0)),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -120,6 +126,7 @@ class RunReport:
             "kernel": self.kernel,
             "metrics": self.metrics,
             "trace": self.trace,
+            "deadline_misses": self.deadline_misses,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -104,6 +104,7 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.put_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -131,13 +132,37 @@ class RunCache:
         return value if hit else default
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic replace, last write wins)."""
+        """Store ``value`` under ``key`` (atomic replace, last write wins).
+
+        A concurrent LRU GC can rmdir the shard between our mkdir and
+        the replace; one retry (re-creating the directory) wins that
+        race.  A second failure is counted in ``put_errors`` and
+        swallowed -- the cache is an accelerator, and the caller's
+        freshly computed value is still returned to it, so dropping
+        the store must never fail the run.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w") as handle:
-            json.dump({"key": key, "value": value}, handle)
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump({"key": key, "value": value}, handle)
+        except OSError:
+            self.put_errors += 1
+            return
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(tmp, path)
+            except OSError:
+                self.put_errors += 1
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return
         self.stores += 1
 
     def __contains__(self, key: str) -> bool:
@@ -235,6 +260,7 @@ class RunCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "put_errors": self.put_errors,
             "hit_rate": round(self.hit_rate, 4),
             "entries": len(self),
             "root": str(self.root),

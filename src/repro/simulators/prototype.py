@@ -109,6 +109,7 @@ class PrototypeSimulator:
         aperiodic_arrivals: Optional[Dict[str, Sequence[int]]] = None,
         trace: Optional[TraceRecorder] = None,
         metrics=None,
+        recovery=None,
     ):
         self.config = config
         self.scale = config.scale
@@ -137,6 +138,8 @@ class PrototypeSimulator:
             name: TaskBinding(
                 profile=binding.profile,
                 stack_words=max(1, binding.stack_words // config.scale),
+                criticality=binding.criticality,
+                retry_budget=binding.retry_budget,
             )
             for name, binding in source_bindings.items()
         }
@@ -147,6 +150,7 @@ class PrototypeSimulator:
             costs=config.costs.scaled(config.scale),
             trace=self.trace,
             metrics=metrics,
+            recovery=recovery,
         )
 
         merged: Dict[str, List[int]] = {

@@ -20,6 +20,12 @@ kind            meaning
 ``unlock``      sync-engine lock released (info ``lock=N``)
 ``barrier``     barrier arrival (info ``barrier=N width=W``)
 ``access``      shared-memory access (info ``addr=0x.. op=read|write``)
+``fault_injected``  injector fired a plan event (info = fault kind)
+``fault``       kernel consumed a crash/overrun fault
+``deadline_miss``  watchdog: no valid completion by the deadline
+``retry``       recovery re-executed a crashed job
+``shed``        degraded mode dropped a released low-criticality job
+``degrade``     kernel entered degraded mode (info = shed tasks)
 ==============  =============================================
 
 ``release`` is exclusively the scheduler's job-release event;
@@ -73,6 +79,14 @@ KINDS = {
     "unlock",
     "barrier",
     "access",
+    # Fault tier (repro.faults, docs/FAULTS.md): injection instants,
+    # kernel-consumed faults and every recovery action.
+    "fault_injected",
+    "fault",
+    "deadline_miss",
+    "retry",
+    "shed",
+    "degrade",
 }
 
 

@@ -195,3 +195,59 @@ def automotive_message_set(bitrate: int = 500_000, clock_hz: int = CLOCK_HZ) -> 
         CANMessage(CANFrame(0x500, 8, "climate"), period_cycles=ms(500)),
         CANMessage(CANFrame(0x600, 8, "diagnostics"), period_cycles=ms(1_000)),
     ]
+
+
+def bursty_arrivals(
+    seed: int,
+    horizon: int,
+    mean_burst_gap: int,
+    burst_size: Tuple[int, int] = (2, 6),
+    intra_burst_gap: int = 2_000,
+) -> List[int]:
+    """Seeded bursty CAN traffic: Poisson bursts of back-to-back frames.
+
+    Real CAN buses are bursty, not smooth: an event (brake application,
+    diagnostic request) triggers a clump of frames.  Burst *starts*
+    arrive as a Poisson process with mean inter-burst gap
+    ``mean_burst_gap`` cycles; each burst carries a uniform
+    ``burst_size`` count of frames ``intra_burst_gap`` cycles apart.
+
+    Deterministic: same arguments, byte-identical arrival list -- the
+    property the fault tier's campaign tests pin down across worker
+    processes.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if mean_burst_gap <= 0:
+        raise ValueError("mean_burst_gap must be positive")
+    if intra_burst_gap <= 0:
+        raise ValueError("intra_burst_gap must be positive")
+    lo, hi = burst_size
+    if lo < 1 or hi < lo:
+        raise ValueError("burst_size must be (lo, hi) with 1 <= lo <= hi")
+    import random
+
+    rng = random.Random(seed)
+    times: List[int] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0 / mean_burst_gap)
+        if t >= horizon:
+            break
+        for i in range(rng.randint(lo, hi)):
+            at = int(t) + i * intra_burst_gap
+            if at < horizon:
+                times.append(at)
+    # Bursts may overlap (a long burst can straddle the next burst
+    # start); frame programmers expect chronological order.
+    return sorted(times)
+
+
+def bursty_arrivals_point(point: dict) -> List[int]:
+    """:func:`bursty_arrivals` with a single dict argument.
+
+    Module-level and plain-data in/out, so it is picklable for
+    :func:`repro.perf.executor.pmap` -- campaign code fans seeds across
+    worker processes through this wrapper.
+    """
+    return bursty_arrivals(**point)

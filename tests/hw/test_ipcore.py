@@ -126,3 +126,22 @@ def test_sequential_jobs_rebook():
     sim.process(flow())
     sim.run()
     assert order == [0, 1]
+
+
+def test_double_submit_guard_fires_at_call_time():
+    """Satellite: the busy check runs when submit() is called, not at
+    the first yield, so a driver bug surfaces at the call site."""
+    sim, bus, intc, core, lines = setup(latency=1_000)
+    first = core.submit(cpu=0)  # device marked busy immediately
+    with pytest.raises(RuntimeError, match="busy"):
+        core.submit(cpu=1)
+    # The original submission still completes normally.
+    jobs = []
+
+    def driver():
+        job = yield from first
+        jobs.append(job)
+
+    sim.process(driver())
+    sim.run()
+    assert jobs and jobs[0].done

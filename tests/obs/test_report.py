@@ -183,3 +183,39 @@ class TestInstrumentedPrototypeRun:
     def test_kernel_stats_and_params_recorded(self, report):
         assert report.params["n_cpus"] == 2
         assert "context_switches" in report.kernel
+
+
+class TestDeadlineMisses:
+    """Satellite: deadline misses are a first-class report field."""
+
+    def test_field_mirrors_kernel_stats(self):
+        registry = MetricsRegistry()
+        report = RunReport.build(
+            label="faulty", registry=registry,
+            kernel_stats={"ticks": 4, "deadline_misses": 3},
+        )
+        assert report.deadline_misses == 3
+        payload = json.loads(report.to_json())
+        assert payload["deadline_misses"] == 3
+
+    def test_defaults_to_zero(self):
+        report = RunReport.build(label="clean", registry=MetricsRegistry())
+        assert report.deadline_misses == 0
+        assert report.to_dict()["deadline_misses"] == 0
+
+    def test_instrumented_fault_run_reports_misses(self):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.scenarios import crash_plan, demo_taskset
+        from repro.hw.soc import SoC, SoCConfig
+        from repro.kernel import DualPriorityMicrokernel
+
+        registry = MetricsRegistry()
+        soc = SoC(SoCConfig(n_cpus=2, tick_cycles=20_000, chunk_cycles=1_000))
+        kernel = DualPriorityMicrokernel(soc, demo_taskset(), metrics=registry)
+        FaultInjector(kernel, crash_plan()).arm()
+        kernel.run(until=400_000)
+
+        report = RunReport.build(label="crash-storm", registry=registry,
+                                 kernel_stats=kernel.stats())
+        assert report.deadline_misses == kernel.deadline_misses > 0
+        assert "deadline_misses_total" in report.metrics

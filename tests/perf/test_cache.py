@@ -172,3 +172,60 @@ class TestGarbageCollection:
         assert len(cache) == 0
         # No entry files remain; emptied prefix dirs are gone too.
         assert all(not p.is_dir() for p in cache.root.iterdir())
+
+
+class TestPutErrors:
+    """Satellite: RunCache.put must survive filesystem failures."""
+
+    def test_replace_failure_retries_then_counts(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = RunCache(tmp_path / "cache")
+        key = cache_key(x=1)
+
+        calls = []
+
+        def always_fails(src, dst):
+            calls.append((src, dst))
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr("repro.perf.cache.os.replace", always_fails)
+        cache.put(key, {"v": 1})  # must not raise
+        assert len(calls) == 2  # first attempt + one retry
+        assert cache.put_errors == 1
+        assert cache.stores == 0
+        assert cache.stats()["put_errors"] == 1
+        # The torn tmp file was cleaned up.
+        assert not list(cache.root.glob("*/*.tmp.*"))
+
+    def test_replace_retry_wins_after_gc_race(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = RunCache(tmp_path / "cache")
+        key = cache_key(x=2)
+        real_replace = os_module.replace
+        attempts = []
+
+        def flaky(src, dst):
+            attempts.append(dst)
+            if len(attempts) == 1:
+                raise OSError("shard rmdir'd concurrently")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.perf.cache.os.replace", flaky)
+        cache.put(key, {"v": 2})
+        assert len(attempts) == 2
+        assert cache.put_errors == 0
+        assert cache.stores == 1
+        assert cache.get(key) == {"v": 2}
+
+    def test_unwritable_root_counts_put_error(self, tmp_path, monkeypatch):
+        cache = RunCache(tmp_path / "cache")
+
+        def no_mkdir(*args, **kwargs):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr("pathlib.Path.mkdir", no_mkdir)
+        cache.put(cache_key(x=3), {"v": 3})  # must not raise
+        assert cache.put_errors == 1
+        assert cache.stores == 0

@@ -128,3 +128,73 @@ class TestArrivalTimes:
         sim.run(2_500_000)
         vision_jobs = [j for j in sim.finished_jobs if j.task.name == "vision"]
         assert len(vision_jobs) == len(arrivals)
+
+
+class TestBurstyArrivals:
+    """Satellite: seeded bursty traffic is deterministic, including
+    across worker processes."""
+
+    def test_same_seed_same_arrivals(self):
+        from repro.workloads.canbus import bursty_arrivals
+
+        a = bursty_arrivals(seed=7, horizon=2_000_000, mean_burst_gap=200_000)
+        b = bursty_arrivals(seed=7, horizon=2_000_000, mean_burst_gap=200_000)
+        assert a == b and len(a) > 0
+
+    def test_different_seeds_differ(self):
+        from repro.workloads.canbus import bursty_arrivals
+
+        a = bursty_arrivals(seed=1, horizon=2_000_000, mean_burst_gap=200_000)
+        b = bursty_arrivals(seed=2, horizon=2_000_000, mean_burst_gap=200_000)
+        assert a != b
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        from repro.workloads.canbus import bursty_arrivals
+
+        arrivals = bursty_arrivals(seed=3, horizon=1_000_000,
+                                   mean_burst_gap=100_000)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 1_000_000 for t in arrivals)
+
+    def test_burst_shape_respected(self):
+        from repro.workloads.canbus import bursty_arrivals
+
+        arrivals = bursty_arrivals(seed=5, horizon=5_000_000,
+                                   mean_burst_gap=500_000,
+                                   burst_size=(3, 3), intra_burst_gap=1_000)
+        # Every burst has exactly 3 frames 1_000 cycles apart (modulo
+        # horizon truncation of the final burst).
+        assert len(arrivals) >= 3
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        intra = [g for g in gaps if g == 1_000]
+        assert len(intra) >= len(arrivals) // 3
+
+    def test_validation(self):
+        from repro.workloads.canbus import bursty_arrivals
+
+        with pytest.raises(ValueError):
+            bursty_arrivals(seed=0, horizon=0, mean_burst_gap=1_000)
+        with pytest.raises(ValueError):
+            bursty_arrivals(seed=0, horizon=1_000, mean_burst_gap=0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(seed=0, horizon=1_000, mean_burst_gap=100,
+                            burst_size=(5, 2))
+
+    def test_deterministic_across_processes(self):
+        from repro.perf.executor import pmap
+        from repro.workloads.canbus import (
+            bursty_arrivals,
+            bursty_arrivals_point,
+        )
+
+        points = [
+            {"seed": s, "horizon": 2_000_000, "mean_burst_gap": 250_000}
+            for s in (0, 1, 2, 0)
+        ]
+        stats = {}
+        results = pmap(bursty_arrivals_point, points, max_workers=2,
+                       stats=stats)
+        assert results[0] == results[3]  # same seed agrees across workers
+        assert results[0] != results[1]
+        for point, result in zip(points, results):
+            assert result == bursty_arrivals(**point)  # matches in-process
