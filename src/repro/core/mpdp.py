@@ -126,8 +126,11 @@ class MPDPScheduler:
         band, which may force a migration at the next allocation.
         """
         promoted: List[Job] = []
+        # ``release + task.promotion`` inlined from Job.promotion_time:
+        # require_analysed() guaranteed promotion is set, and this scan
+        # runs every scheduling cycle.
         for job in list(self.periodic_ready):
-            if job.promotion_time <= now:
+            if job.release + job.task.promotion <= now:
                 self.periodic_ready.remove(job)
                 job.promoted = True
                 self.local[job.task.cpu].push(job)
@@ -137,7 +140,7 @@ class MPDPScheduler:
                 job is not None
                 and job.is_periodic
                 and not job.promoted
-                and job.promotion_time <= now
+                and job.release + job.task.promotion <= now
             ):
                 job.promoted = True
                 promoted.append(job)
@@ -267,6 +270,38 @@ class MPDPScheduler:
             if job is not None:
                 job.record_dispatch(cpu, now)
         return Allocation(assignment=assignment, switches=switches, preempted=preempted)
+
+    def refill(self, cpu: int, now: int) -> Optional[Job]:
+        """Incremental allocation after ``cpu`` alone went free.
+
+        Equivalent to :meth:`allocate` when the only state change since
+        the last allocation is that ``running[cpu]`` became ``None``
+        (a completion): every other processor keeps its job through the
+        affinity rule, and the freed slot takes the highest-standing
+        queued job -- the local queue binds its processor (rule 1),
+        otherwise the middle band goes before the lower band (rules
+        2/3).  The queued candidates are strictly below every running
+        job in the MPDP order (otherwise the previous allocation would
+        already have chosen them), so handing the single head over is
+        the same fixpoint ``allocate`` would recompute from scratch.
+
+        Returns the dispatched job, or ``None`` when the processor goes
+        idle.  Callers must have detached the finished job first (see
+        :meth:`job_finished`).
+        """
+        if self.running[cpu] is not None:
+            raise ValueError(f"cpu {cpu} is not free")
+        if len(self.local[cpu]):
+            job = self.local[cpu].pop()
+        elif len(self.aperiodic_ready):
+            job = self.aperiodic_ready.pop()
+        elif len(self.periodic_ready):
+            job = self.periodic_ready.pop()
+        else:
+            return None
+        self.running[cpu] = job
+        job.record_dispatch(cpu, now)
+        return job
 
     def _previous_cpu(self, job: Job, previous: Sequence[Optional[Job]]) -> Optional[int]:
         for cpu, prev in enumerate(previous):

@@ -14,17 +14,26 @@ simulator and the full-system microkernel reuse them unchanged.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.core.task import Job, JobState
 
 
 class _SortedJobQueue:
-    """Base: a list kept sorted by a job key, largest key first."""
+    """Base: a list kept sorted by a job key, largest key first.
+
+    A parallel list of cached keys avoids recomputing ``_key`` for every
+    resident job on each insertion -- the fold-back in
+    :meth:`repro.core.mpdp.MPDPScheduler.allocate` pushes at every
+    scheduling event, and a key never changes while a job sits in a
+    queue (promotion removes before re-inserting).
+    """
 
     def __init__(self):
         self._jobs: List[Job] = []
+        self._keys: List[tuple] = []
 
     def _key(self, job: Job):
         raise NotImplementedError
@@ -32,16 +41,19 @@ class _SortedJobQueue:
     def push(self, job: Job) -> None:
         """Insert maintaining order (stable for equal keys)."""
         key = self._key(job)
-        for i, other in enumerate(self._jobs):
-            if self._key(other) < key:
+        for i, other_key in enumerate(self._keys):
+            if other_key < key:
                 self._jobs.insert(i, job)
+                self._keys.insert(i, key)
                 return
         self._jobs.append(job)
+        self._keys.append(key)
 
     def pop(self) -> Job:
         """Remove and return the highest-priority job."""
         if not self._jobs:
             raise IndexError(f"pop from empty {self.__class__.__name__}")
+        del self._keys[0]
         return self._jobs.pop(0)
 
     def peek(self) -> Optional[Job]:
@@ -50,7 +62,9 @@ class _SortedJobQueue:
 
     def remove(self, job: Job) -> None:
         """Remove a specific job (promotion pulls jobs mid-queue)."""
-        self._jobs.remove(job)
+        index = self._jobs.index(job)
+        del self._jobs[index]
+        del self._keys[index]
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -63,6 +77,7 @@ class _SortedJobQueue:
 
     def clear(self) -> None:
         self._jobs.clear()
+        self._keys.clear()
 
 
 class PeriodicReadyQueue(_SortedJobQueue):
@@ -148,23 +163,23 @@ class WaitingPeriodicQueue:
 
     def __init__(self):
         self._jobs: List[Job] = []
+        self._keys: List[Tuple[int, int]] = []
 
     def push(self, job: Job) -> None:
         if not job.is_periodic:
             raise TypeError("WaitingPeriodicQueue only holds periodic jobs")
         job.state = JobState.WAITING
         key = (job.release, job.uid)
-        for i, other in enumerate(self._jobs):
-            if (other.release, other.uid) > key:
-                self._jobs.insert(i, job)
-                return
-        self._jobs.append(job)
+        index = bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._jobs.insert(index, job)
 
     def pop_released(self, now: int) -> List[Job]:
         """Remove and return every job whose release time has passed."""
         released: List[Job] = []
         while self._jobs and self._jobs[0].release <= now:
             job = self._jobs.pop(0)
+            del self._keys[0]
             job.state = JobState.READY
             released.append(job)
         return released
@@ -184,3 +199,4 @@ class WaitingPeriodicQueue:
 
     def clear(self) -> None:
         self._jobs.clear()
+        self._keys.clear()

@@ -197,6 +197,9 @@ class Job:
         self.task = task
         self.release = release
         self.index = index
+        # Plain attribute, not a property: the task never changes after
+        # construction and the schedulers test this in their hot loops.
+        self.is_periodic = isinstance(task, PeriodicTask)
         self.remaining = getattr(task, "acet", None) or task.wcet
         self.state = JobState.WAITING
         self.promoted = False
@@ -212,10 +215,6 @@ class Job:
         self.shed = False
 
     # -- classification -------------------------------------------------------
-    @property
-    def is_periodic(self) -> bool:
-        return isinstance(self.task, PeriodicTask)
-
     @property
     def name(self) -> str:
         return f"{self.task.name}#{self.index}"

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import CLOCK_HZ, TICK, cycles_to_seconds
 from repro.perf.cache import RunCache, cache_key, taskset_rows
 from repro.perf.executor import pmap
-from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
+from repro.simulators.prototype import FIDELITIES, PrototypeConfig, PrototypeSimulator
 from repro.simulators.theoretical import TheoreticalSimulator
 from repro.trace.metrics import compute_metrics
 from repro.workloads.automotive import (
@@ -90,14 +90,24 @@ def run_cell(
     scale: int = 1_000,
     arrival_phases_s: Sequence[float] = ARRIVAL_PHASES_S,
     horizon_margin_s: float = 25.0,
+    fidelity: str = "prototype",
 ) -> Figure4Cell:
-    """Measure one Figure 4 cell (theoretical + prototype).
+    """Measure one Figure 4 cell (theoretical + the chosen real rung).
 
     The paper reports the *average* response time of the aperiodic
     task; each phase in ``arrival_phases_s`` is run independently (one
     arrival per run, so samples never interfere) and the means are
     averaged.
+
+    ``fidelity`` picks the rung standing in for the "real" column:
+    the cycle-approximate prototype (the paper's measurement), or the
+    calibrated ``tlm`` rung for fast exploratory sweeps (accurate to
+    its calibration residual).  ``theoretical`` degenerates to a
+    self-comparison (slowdown ~0) and is mostly useful as a sanity
+    anchor.
     """
+    if fidelity not in FIDELITIES:
+        raise ValueError(f"fidelity must be one of {FIDELITIES}, got {fidelity!r}")
     taskset = build_automotive_taskset(utilization, n_cpus)
     taskset = prepare_taskset(taskset, n_cpus, tick=TICK)
 
@@ -115,19 +125,37 @@ def run_cell(
         theo_metrics = compute_metrics(theoretical.finished_jobs, horizon)
         theo_samples.append(theo_metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
 
-        prototype = PrototypeSimulator(
-            taskset,
-            PrototypeConfig(n_cpus=n_cpus, tick=TICK, scale=scale),
-            bindings=automotive_bindings(),
-            aperiodic_arrivals=arrivals,
-        )
-        prototype.run(horizon)
-        proto_metrics = compute_metrics(prototype.finished_jobs, horizon // scale)
-        real_samples.append(
-            prototype.to_full_scale(
-                int(proto_metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
+        if fidelity == "theoretical":
+            real_samples.append(theo_samples[-1])
+        elif fidelity == "tlm":
+            from repro.simulators.tlm import TLMSimulator
+
+            tlm = TLMSimulator(
+                taskset,
+                n_cpus,
+                tick=TICK,
+                bindings=automotive_bindings(),
+                aperiodic_arrivals=arrivals,
             )
-        )
+            tlm.run(horizon)
+            tlm_metrics = compute_metrics(tlm.finished_jobs, horizon)
+            real_samples.append(tlm_metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
+        else:
+            prototype = PrototypeSimulator(
+                taskset,
+                PrototypeConfig(n_cpus=n_cpus, tick=TICK, scale=scale),
+                bindings=automotive_bindings(),
+                aperiodic_arrivals=arrivals,
+            )
+            prototype.run(horizon)
+            proto_metrics = compute_metrics(
+                prototype.finished_jobs, horizon // scale
+            )
+            real_samples.append(
+                prototype.to_full_scale(
+                    int(proto_metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
+                )
+            )
 
     mean_theo = sum(theo_samples) / len(theo_samples)
     mean_real = sum(real_samples) / len(real_samples)
@@ -139,7 +167,9 @@ def run_cell(
     )
 
 
-def _cell_key(n_cpus: int, utilization: float, scale: int) -> str:
+def _cell_key(
+    n_cpus: int, utilization: float, scale: int, fidelity: str = "prototype"
+) -> str:
     """Content hash of everything a Figure 4 cell's result depends on."""
     taskset = prepare_taskset(
         build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
@@ -153,13 +183,16 @@ def _cell_key(n_cpus: int, utilization: float, scale: int) -> str:
         tick=TICK,
         arrival_phases_s=list(ARRIVAL_PHASES_S),
         horizon_margin_s=25.0,
+        fidelity=fidelity,
     )
 
 
-def _run_cell_point(point: Tuple[int, float], scale: int) -> Figure4Cell:
+def _run_cell_point(
+    point: Tuple[int, float], scale: int, fidelity: str
+) -> Figure4Cell:
     """Picklable per-cell worker body for the parallel sweep."""
     n_cpus, utilization = point
-    return run_cell(n_cpus, utilization, scale=scale)
+    return run_cell(n_cpus, utilization, scale=scale, fidelity=fidelity)
 
 
 def figure4_sweep(
@@ -168,6 +201,7 @@ def figure4_sweep(
     scale: int = 1_000,
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
+    fidelity: str = "prototype",
 ) -> List[Figure4Cell]:
     """The full Figure 4 grid.
 
@@ -175,7 +209,9 @@ def figure4_sweep(
     they run across worker processes; results are reassembled in grid
     order and are bit-for-bit identical to a serial sweep.  With a
     ``cache``, previously-computed cells (keyed by task-set content,
-    configuration and package version) are loaded instead of re-run.
+    configuration, fidelity rung and package version) are loaded
+    instead of re-run.  ``fidelity`` picks the rung standing in for
+    the "real" column (see :func:`run_cell`).
     """
     points = [(n_cpus, u) for n_cpus in cpus for u in utilizations]
     cells: List[Optional[Figure4Cell]] = [None] * len(points)
@@ -184,14 +220,14 @@ def figure4_sweep(
     if cache is not None:
         pending = []
         for index, (n_cpus, utilization) in enumerate(points):
-            keys[index] = _cell_key(n_cpus, utilization, scale)
+            keys[index] = _cell_key(n_cpus, utilization, scale, fidelity)
             hit, value = cache.lookup(keys[index])
             if hit:
                 cells[index] = Figure4Cell(**value)
             else:
                 pending.append(index)
     computed = pmap(
-        functools.partial(_run_cell_point, scale=scale),
+        functools.partial(_run_cell_point, scale=scale, fidelity=fidelity),
         [points[i] for i in pending],
         max_workers=max_workers,
     )
@@ -229,11 +265,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes (0 = one per CPU)")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="content-addressed run cache directory")
+    parser.add_argument("--fidelity", choices=list(FIDELITIES),
+                        default="prototype",
+                        help="simulation rung for the 'real' column")
     args = parser.parse_args(argv)
 
     cache = RunCache(args.cache) if args.cache else None
     cells = figure4_sweep(args.cpus, args.utilizations, scale=args.scale,
-                          max_workers=args.workers, cache=cache)
+                          max_workers=args.workers, cache=cache,
+                          fidelity=args.fidelity)
     print("Figure 4 -- aperiodic (susan/large) response time")
     print(f"standalone execution: {APERIODIC_STANDALONE_S} s; paper's")
     print(f"theoretical worst case with switching: {APERIODIC_THEORETICAL_WORST_S} s")

@@ -13,6 +13,7 @@ import csv
 import functools
 import io
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -23,7 +24,7 @@ from repro.kernel.microkernel import TaskBinding
 from repro.lint.tasks import check_taskset
 from repro.perf.cache import RunCache, cache_key
 from repro.perf.executor import pmap
-from repro.simulators.prototype import PrototypeConfig, PrototypeSimulator
+from repro.simulators.prototype import FIDELITIES, PrototypeConfig, PrototypeSimulator
 from repro.trace.metrics import compute_metrics
 from repro.workloads.automotive import (
     AUTOMOTIVE_APERIODIC,
@@ -101,6 +102,16 @@ def _eval_point(measure: Callable[..., Mapping[str, Any]], point: Dict[str, Any]
     return row
 
 
+def _timed_eval_point(
+    measure: Callable[..., Mapping[str, Any]], point: Dict[str, Any]
+) -> Dict[str, Any]:
+    """:func:`_eval_point` plus a ``wall_time_s`` host-clock column."""
+    start = time.perf_counter()
+    row = _eval_point(measure, point)
+    row["wall_time_s"] = round(time.perf_counter() - start, 4)
+    return row
+
+
 def _measure_tag(measure: Callable) -> str:
     """A stable cache tag for a measure callable (never a repr with an
     object address, which would defeat cross-run caching)."""
@@ -116,6 +127,8 @@ def sweep(
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
     cache_tag: Optional[str] = None,
+    fidelity: Optional[str] = None,
+    record_timing: bool = False,
 ) -> SweepResult:
     """Run ``measure(**point)`` over the cartesian product of ``grid``.
 
@@ -129,17 +142,44 @@ def sweep(
     version) and only missing cells are computed.  ``cache_tag``
     defaults to the measure's qualified name; pass an explicit tag if
     the measure's behaviour depends on state the point does not encode.
+
+    ``fidelity`` picks a simulation rung
+    (:data:`repro.simulators.prototype.FIDELITIES`) for the whole
+    sweep: it becomes a parameter column on every row -- and thereby
+    part of every cell's cache key, so rungs never alias -- and is
+    passed to ``measure`` as a keyword, which must accept it
+    (:func:`prototype_response_s` does).
+
+    ``record_timing=True`` appends a ``wall_time_s`` column with each
+    cell's host-clock cost.  Off by default: the column is
+    machine-dependent, and cache hits replay the *computing* run's
+    timing, so timed sweeps are for sizing runs, not for comparing
+    against cached results.
     """
-    names = list(grid.keys())
+    grid_names = list(grid.keys())
+    names = list(grid_names)
+    extra: Dict[str, Any] = {}
+    if fidelity is not None:
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
+        if "fidelity" in grid:
+            raise ValueError("pass fidelity either in the grid or as the "
+                             "sweep argument, not both")
+        names.append("fidelity")
+        extra["fidelity"] = fidelity
     points = [
-        dict(zip(names, values))
-        for values in itertools.product(*(grid[name] for name in names))
+        dict(zip(grid_names, values), **extra)
+        for values in itertools.product(*(grid[name] for name in grid_names))
     ]
     result = SweepResult(parameters=names)
     before = (cache.hits, cache.misses) if cache is not None else (0, 0)
     result.rows.extend(
         _cached_pmap(
-            functools.partial(_eval_point, measure),
+            functools.partial(
+                _timed_eval_point if record_timing else _eval_point, measure
+            ),
             points,
             max_workers=max_workers,
             cache=cache,
@@ -208,20 +248,75 @@ def prototype_response_s(
     mpic_ack_timeout: int = None,
     arrival_s: float = 1.0,
     horizon_margin_s: float = 17.0,
+    fidelity: str = "prototype",
 ) -> Dict[str, Any]:
-    """One prototype run; returns response time and kernel counters."""
+    """One run of the automotive workload on the chosen fidelity rung.
+
+    Returns the aperiodic response time, the schedulability verdict
+    and the rung's own counters (columns differ per rung; the sweep
+    CSV writer handles ragged rows).  Knobs a rung does not model are
+    ignored there: the theoretical rung has no kernel costs, bindings
+    or MPIC; the TLM rung has no MPIC acknowledge path and no
+    per-cycle ``scale`` (it always runs the full-size workload).
+    """
     taskset = prepare_taskset(
         build_automotive_taskset(utilization, n_cpus), n_cpus, tick=TICK
     )
     check_taskset(taskset, n_cpus, tick=TICK)
     arrival = int(arrival_s * CLOCK_HZ)
     horizon = arrival + int(horizon_margin_s * CLOCK_HZ)
+    arrivals = {AUTOMOTIVE_APERIODIC: [arrival]}
+
+    if fidelity == "theoretical":
+        from repro.simulators.theoretical import TheoreticalSimulator
+
+        theo = TheoreticalSimulator(
+            taskset, n_cpus, tick=TICK, overhead=0.02, aperiodic_arrivals=arrivals
+        )
+        theo.run(horizon)
+        metrics = compute_metrics(theo.finished_jobs, horizon)
+        return {
+            "response_s": cycles_to_seconds(
+                metrics.response_of(AUTOMOTIVE_APERIODIC).mean
+            ),
+            "misses": metrics.deadline_misses,
+            "context_switches": theo.context_switches,
+        }
+
+    if fidelity == "tlm":
+        from repro.simulators.tlm import TLMSimulator
+
+        sim = TLMSimulator(
+            taskset,
+            n_cpus,
+            tick=TICK,
+            bindings=bindings if bindings is not None else automotive_bindings(),
+            aperiodic_arrivals=arrivals,
+            costs=costs or KernelCosts(),
+        )
+        sim.run(horizon)
+        metrics = compute_metrics(sim.finished_jobs, horizon)
+        stats = sim.stats()
+        return {
+            "response_s": cycles_to_seconds(
+                metrics.response_of(AUTOMOTIVE_APERIODIC).mean
+            ),
+            "misses": metrics.deadline_misses,
+            "context_switches": stats["context_switches"],
+            "tlm_transactions": stats["tlm_transactions"],
+            "tlm_contention_wait_cycles": stats["tlm_contention_wait_cycles"],
+        }
+
+    if fidelity != "prototype":
+        raise ValueError(
+            f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+        )
     proto = PrototypeSimulator(
         taskset,
         PrototypeConfig(n_cpus=n_cpus, tick=TICK, scale=scale,
                         costs=costs or KernelCosts()),
         bindings=bindings if bindings is not None else automotive_bindings(),
-        aperiodic_arrivals={AUTOMOTIVE_APERIODIC: [arrival]},
+        aperiodic_arrivals=arrivals,
     )
     if mpic_ack_timeout is not None:
         proto.soc.intc.ack_timeout = mpic_ack_timeout
@@ -332,29 +427,32 @@ def prototype_run_report(
 def context_cost_sweep(
     multipliers: Sequence[int] = (1, 10, 100, 1000),
     cache: Optional[RunCache] = None,
+    fidelity: str = "prototype",
 ) -> SweepResult:
     """Response vs context-switch cost (primitive + regfile scaled)."""
 
-    def measure(multiplier: int) -> Dict[str, Any]:
+    def measure(multiplier: int, fidelity: str = "prototype") -> Dict[str, Any]:
         base = KernelCosts()
         costs = KernelCosts(
             context_primitive=base.context_primitive * multiplier,
             regfile_words=base.regfile_words * multiplier,
         )
-        return prototype_response_s(costs=costs)
+        return prototype_response_s(costs=costs, fidelity=fidelity)
 
     return sweep(measure, {"multiplier": list(multipliers)},
-                 cache=cache, cache_tag="context_cost_sweep")
+                 cache=cache, cache_tag="context_cost_sweep",
+                 fidelity=fidelity)
 
 
 def traffic_intensity_sweep(
     scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
     cache: Optional[RunCache] = None,
+    fidelity: str = "prototype",
 ) -> SweepResult:
     """Response vs shared-memory traffic density (x the characterised
     profiles; 1.0 = calibrated)."""
 
-    def measure(traffic: float) -> Dict[str, Any]:
+    def measure(traffic: float, fidelity: str = "prototype") -> Dict[str, Any]:
         bindings = {}
         for name, binding in automotive_bindings().items():
             period = max(20, int(round(binding.profile.access_period / traffic)))
@@ -363,10 +461,11 @@ def traffic_intensity_sweep(
                                          access_words=binding.profile.access_words),
                 stack_words=binding.stack_words,
             )
-        return prototype_response_s(bindings=bindings)
+        return prototype_response_s(bindings=bindings, fidelity=fidelity)
 
     return sweep(measure, {"traffic": list(scales)},
-                 cache=cache, cache_tag="traffic_intensity_sweep")
+                 cache=cache, cache_tag="traffic_intensity_sweep",
+                 fidelity=fidelity)
 
 
 def processor_scaling_sweep(
@@ -374,15 +473,21 @@ def processor_scaling_sweep(
     utilization: float = 0.5,
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
+    fidelity: str = "prototype",
 ) -> SweepResult:
     """Response vs processor count at fixed per-cpu utilization."""
     measure = functools.partial(_scaling_measure, utilization=utilization)
     return sweep(measure, {"n_cpus": list(cpus)}, max_workers=max_workers,
-                 cache=cache, cache_tag="processor_scaling_sweep")
+                 cache=cache, cache_tag="processor_scaling_sweep",
+                 fidelity=fidelity)
 
 
-def _scaling_measure(n_cpus: int, utilization: float) -> Dict[str, Any]:
-    return prototype_response_s(n_cpus=n_cpus, utilization=utilization)
+def _scaling_measure(
+    n_cpus: int, utilization: float, fidelity: str = "prototype"
+) -> Dict[str, Any]:
+    return prototype_response_s(
+        n_cpus=n_cpus, utilization=utilization, fidelity=fidelity
+    )
 
 
 def mpic_timeout_sweep(
@@ -447,12 +552,18 @@ def _fault_campaign_cell(
     until: int,
     n_faults: int,
     min_gap: int,
+    fidelity: str = "prototype",
 ) -> Dict[str, Any]:
     """One campaign run (module-level so ``pmap`` can pickle it).
 
     The plan is regenerated from the seed inside the cell, so the cell
     is a pure function of its (cache-keyed) parameters.
     """
+    if fidelity != "prototype":
+        raise ValueError(
+            "fault campaigns drive the kernel-on-SoC rung; the "
+            f"{fidelity!r} rung has no kernel fault surface"
+        )
     from repro.faults.plan import random_plan
     from repro.faults.scenarios import campaign_cell, demo_taskset
 
@@ -478,6 +589,7 @@ def fault_campaign(
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
     perfetto_out: Optional[str] = None,
+    fidelity: str = "prototype",
 ) -> SweepResult:
     """N seeded fault-injection runs over the ``pmap`` pool.
 
@@ -493,6 +605,10 @@ def fault_campaign(
     trace and writes a Perfetto-loadable file whose instant events
     mark every injection, consumed fault, retry, shed and deadline
     miss.
+
+    ``fidelity`` is threaded for cache-key/column uniformity with the
+    other sweeps, but only the ``prototype`` rung carries the
+    kernel-level fault surface, so any other value raises.
     """
     result = sweep(
         _fault_campaign_cell,
@@ -506,6 +622,7 @@ def fault_campaign(
         max_workers=max_workers,
         cache=cache,
         cache_tag="fault_campaign",
+        fidelity=fidelity,
     )
     if perfetto_out is not None:
         from repro.faults.plan import random_plan

@@ -150,6 +150,41 @@ def self_check(out=None) -> int:
     check("report JSON parses back",
           json.loads(report.to_json())["label"] == "self-check")
 
+    # -- TLM rung: transaction metrics + timed-block Perfetto track
+    from repro import CLOCK_HZ, TICK
+    from repro.simulators.tlm import TLMSimulator
+    from repro.workloads.automotive import (
+        AUTOMOTIVE_APERIODIC,
+        automotive_bindings,
+        build_automotive_taskset,
+        prepare_taskset,
+    )
+
+    tlm_registry = MetricsRegistry()
+    tlm_trace = TraceRecorder(sink=RingBufferSink(capacity=65_536))
+    taskset = prepare_taskset(build_automotive_taskset(0.4, 2), 2, tick=TICK)
+    arrival = int(1.0 * CLOCK_HZ)
+    tlm = TLMSimulator(
+        taskset, 2, tick=TICK,
+        bindings=automotive_bindings(),
+        aperiodic_arrivals={AUTOMOTIVE_APERIODIC: [arrival]},
+        trace=tlm_trace, metrics=tlm_registry,
+    )
+    tlm.run(arrival + int(12.0 * CLOCK_HZ))
+    tlm_snapshot = tlm_registry.snapshot()
+    check("tlm metrics emitted",
+          tlm_snapshot["tlm_transactions_total"]["series"][0]["value"] > 0
+          and tlm_snapshot["tlm_calibration_residual"]["series"][0]["value"] > 0)
+    tlm_chrome = trace_to_chrome(tlm_trace)
+    tlm_slices = [e for e in tlm_chrome["traceEvents"]
+                  if e["ph"] == "X" and e.get("cat") == "tlm"]
+    check("tlm timed-block track exported",
+          bool(tlm_slices)
+          and all("contention_stretch" in s["args"] for s in tlm_slices)
+          and any(e["ph"] == "M" and e["args"]["name"] == "tlm-cpu0"
+                  for e in tlm_chrome["traceEvents"]),
+          f"{len(tlm_slices)} block slice(s)")
+
     print(
         f"self-check: {'PASS' if not failures else 'FAIL'} "
         f"({len(failures)} failure(s))",

@@ -13,7 +13,11 @@ consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
   thread-scoped instant events on their cpu track;
 - cpu-less scheduler events (``release``/``promote``) land on a
   dedicated ``scheduler`` track so job arrivals line up visually with
-  the execution slices they trigger.
+  the execution slices they trigger;
+- TLM timed blocks (``tlm_block``, emitted by
+  :mod:`repro.simulators.tlm`) become slices on per-cpu ``tlm-cpuN``
+  tracks, annotated with the block's nominal cycles and the
+  contention stretch factor applied to them.
 
 Timestamps are microseconds (the format's unit), converted from
 integer cycles at ``clock_hz`` (default: the 50 MHz prototype clock).
@@ -39,11 +43,48 @@ INSTANT_KINDS = ("irq", "tick", "promote", "release", "migrate",
 SOC_PID = 0
 #: Synthetic tid for cpu-less scheduler events.
 SCHEDULER_TID = 1_000
+#: Base tid of the per-cpu TLM timed-block tracks (tid = base + cpu).
+TLM_TID_BASE = 2_000
 
 
 def _meta(name: str, tid: int, value: str) -> Dict[str, Any]:
     return {"ph": "M", "pid": SOC_PID, "tid": tid, "name": name,
             "args": {"name": value}}
+
+
+def _tlm_slice(event: TraceEvent, scale: float) -> Dict[str, Any]:
+    """One TLM timed block -> a complete slice on the cpu's TLM track.
+
+    ``tlm_block`` events mark the *end* of a block and carry
+    ``start=<cycle> nominal=<cycles> stretch=<factor>`` in ``info``
+    (the stretch is the contention adjustment applied to the nominal
+    cycles).  A malformed/missing field degrades to a zero-length
+    slice at the event instant rather than dropping the block.
+    """
+    fields: Dict[str, str] = {}
+    for part in (event.info or "").split():
+        key, _, value = part.partition("=")
+        fields[key] = value
+    try:
+        start = int(fields.get("start", ""))
+    except ValueError:
+        start = event.time
+    start = min(start, event.time)
+    args: Dict[str, Any] = {"start_cycle": start, "end_cycle": event.time}
+    if "nominal" in fields:
+        args["nominal_cycles"] = fields["nominal"]
+    if "stretch" in fields:
+        args["contention_stretch"] = fields["stretch"]
+    return {
+        "ph": "X",
+        "name": event.job or "?",
+        "cat": "tlm",
+        "pid": SOC_PID,
+        "tid": TLM_TID_BASE + (event.cpu or 0),
+        "ts": start * scale,
+        "dur": (event.time - start) * scale,
+        "args": args,
+    }
 
 
 def trace_to_chrome(
@@ -67,6 +108,11 @@ def trace_to_chrome(
         out.append(_meta("thread_name", cpu, f"cpu{cpu}"))
     if any(e.cpu is None for e in events):
         out.append(_meta("thread_name", SCHEDULER_TID, "scheduler"))
+    tlm_cpus = sorted(
+        {e.cpu for e in events if e.kind == "tlm_block" and e.cpu is not None}
+    )
+    for cpu in tlm_cpus:
+        out.append(_meta("thread_name", TLM_TID_BASE + cpu, f"tlm-cpu{cpu}"))
 
     last = max((e.time for e in events), default=0)
     end_of_trace = last if horizon is None else max(horizon, last)
@@ -94,6 +140,8 @@ def trace_to_chrome(
             open_run[event.cpu] = event
         elif event.kind in ("preempt", "finish", "idle") and event.cpu is not None:
             close_slice(event.cpu, event.time)
+        elif event.kind == "tlm_block" and event.cpu is not None:
+            out.append(_tlm_slice(event, scale))
 
         if event.kind in INSTANT_KINDS:
             tid = event.cpu if event.cpu is not None else SCHEDULER_TID

@@ -137,20 +137,101 @@ def bench_cache(
     }
 
 
+# ---------------------------------------------------------------------- tlm
+def bench_tlm(
+    cells: Optional[Sequence] = None,
+    repeats: int = 3,
+    scale: int = 1_000,
+) -> Dict[str, Any]:
+    """TLM rung vs prototype wall clock on the Figure 4 anchor cells.
+
+    Times both rungs of the fidelity ladder on the same anchor cells
+    the cost table was calibrated against, best-of-``repeats`` (the
+    gate protects against code regressions, not scheduler jitter), and
+    re-checks the accuracy contract the speedup is only meaningful
+    under: identical schedulability verdicts and per-task WCRTs within
+    the calibrated residual.
+
+    The rung-independent workload preparation (task-set analysis,
+    partitioning, promotions) is built outside the timed region --
+    both rungs consume the identical artefact, so the ratio compares
+    what actually differs: the simulation backends.  The rungs are
+    timed back to back within each repeat and the speedup taken as the
+    best per-repeat ratio: on hosts with drifting clock speed (laptop
+    governors, shared VMs) paired samples see the same speed epoch,
+    where independent minima would compare different ones.
+    """
+    from repro.simulators.tlm import (
+        ANCHOR_CELLS,
+        DEFAULT_COST_TABLE,
+        _anchor_setup,
+        _wcrt_deviation,
+        anchor_prototype_reference,
+        anchor_tlm_run,
+    )
+
+    cells = tuple(cells) if cells is not None else ANCHOR_CELLS
+    rows = []
+    verdicts_match = True
+    max_deviation = 0.0
+    for n_cpus, utilization in cells:
+        best = None  # (speedup, proto_s, tlm_s)
+        for _ in range(repeats):
+            prepared = _anchor_setup(n_cpus, utilization)
+            started = time.perf_counter()
+            reference = anchor_prototype_reference(n_cpus, utilization,
+                                                   scale=scale,
+                                                   prepared=prepared)
+            proto_s = time.perf_counter() - started
+
+            prepared = _anchor_setup(n_cpus, utilization)
+            started = time.perf_counter()
+            result = anchor_tlm_run(n_cpus, utilization, prepared=prepared)
+            tlm_s = time.perf_counter() - started
+            if tlm_s > 0 and (best is None or proto_s / tlm_s > best[0]):
+                best = (proto_s / tlm_s, proto_s, tlm_s)
+        if (result["misses"] == 0) != (reference["misses"] == 0):
+            verdicts_match = False
+        deviations = _wcrt_deviation(reference["wcrt"], result["wcrt"])
+        if deviations:
+            max_deviation = max(max_deviation, max(deviations))
+        rows.append({
+            "n_cpus": n_cpus,
+            "utilization": utilization,
+            "prototype_s": round(best[1], 4),
+            "tlm_s": round(best[2], 4),
+            "speedup": round(best[0], 1),
+        })
+    speedups = [row["speedup"] for row in rows if row["speedup"] is not None]
+    residual = DEFAULT_COST_TABLE.residual
+    return {
+        "cells": rows,
+        "repeats": repeats,
+        "min_speedup": min(speedups) if speedups else None,
+        "verdicts_match": verdicts_match,
+        "max_wcrt_deviation": round(max_deviation, 4),
+        "residual_bound": residual,
+        "accurate": verdicts_match and max_deviation <= residual,
+    }
+
+
 # --------------------------------------------------------------------- main
 def run_benchmarks(
     out: Optional[str] = BENCH_FILE,
     workers: Optional[int] = None,
     quick: bool = False,
     engine_only: bool = False,
+    tlm_only: bool = False,
 ) -> Dict[str, Any]:
     """Run every section and (optionally) write ``BENCH_perf.json``.
 
     ``engine_only`` runs just the pure discrete-event micro-benchmark
     (seconds instead of minutes) -- the mode the engine regression
     gate in ``benchmarks/test_bench_engine.py`` and quick development
-    loops use.  Engine-only results should not be written over a full
-    ``BENCH_perf.json`` (the CLI defaults to not writing in that mode).
+    loops use.  ``tlm_only`` runs just the fidelity-ladder section
+    (TLM vs prototype on the anchor cells).  Partial results should
+    not be written over a full ``BENCH_perf.json`` (the CLI defaults
+    to not writing in those modes).
     """
     utilizations = (0.40, 0.50) if quick else (0.40, 0.50, 0.60)
     results: Dict[str, Any] = {
@@ -160,12 +241,16 @@ def run_benchmarks(
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
-        "engine": bench_engine(n_processes=100 if quick else 300),
     }
-    if not engine_only:
-        results["figure4"] = bench_figure4(workers=workers,
-                                           utilizations=utilizations)
-        results["cache"] = bench_cache(utilizations=utilizations[:2])
+    if tlm_only:
+        results["tlm"] = bench_tlm(repeats=1 if quick else 3)
+    else:
+        results["engine"] = bench_engine(n_processes=100 if quick else 300)
+        if not engine_only:
+            results["figure4"] = bench_figure4(workers=workers,
+                                               utilizations=utilizations)
+            results["cache"] = bench_cache(utilizations=utilizations[:2])
+            results["tlm"] = bench_tlm(repeats=1 if quick else 3)
     if out:
         with open(out, "w") as handle:
             json.dump(results, handle, indent=2)
@@ -175,12 +260,15 @@ def run_benchmarks(
 
 def format_results(results: Dict[str, Any]) -> str:
     """Human-readable one-screen rendering of a results dict."""
-    engine = results["engine"]
     lines = [
         f"repro-perf {results['version']} on {results['host']['cpus']} cpu(s)",
-        f"engine : {engine['events']} events in {engine['elapsed_s']} s "
-        f"({engine['events_per_s']} events/s)",
     ]
+    if "engine" in results:
+        engine = results["engine"]
+        lines.append(
+            f"engine : {engine['events']} events in {engine['elapsed_s']} s "
+            f"({engine['events_per_s']} events/s)"
+        )
     if "figure4" in results:
         fig4 = results["figure4"]
         lines.append(
@@ -195,5 +283,17 @@ def format_results(results: Dict[str, Any]) -> str:
             f"warm {cache['warm_s']} s  {cache['hits']} hit(s) / "
             f"{cache['misses']} miss(es) ({cache['hit_rate']:.0%} hit rate)  "
             f"warm speedup {cache['warm_speedup']}x"
+        )
+    if "tlm" in results:
+        tlm = results["tlm"]
+        per_cell = "  ".join(
+            f"{row['n_cpus']}P/{row['utilization']:.0%} {row['speedup']}x"
+            for row in tlm["cells"]
+        )
+        lines.append(
+            f"tlm    : {per_cell}  (min {tlm['min_speedup']}x, "
+            f"wcrt dev {tlm['max_wcrt_deviation']:.1%} <= "
+            f"{tlm['residual_bound']:.1%}, "
+            f"verdicts_match={tlm['verdicts_match']})"
         )
     return "\n".join(lines)

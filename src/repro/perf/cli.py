@@ -3,22 +3,29 @@
 Three modes, mirroring ``repro-lint``::
 
     repro-perf bench [--out BENCH_perf.json] [--workers N] [--quick]
-                     [--engine-only]
+                     [--engine-only] [--tlm]
+    repro-perf calibrate-tlm [--scale N] [--json]
     repro-perf cache [--gc] [--max-mb MB] [--max-entries N] [--dir PATH]
     repro-perf --self-check
 
 ``bench`` times representative experiment cells serial-vs-parallel and
 cold-vs-warm cache and writes ``BENCH_perf.json`` (see docs/PERF.md
 for how to read it); ``--engine-only`` runs just the event-core
-micro-benchmark in seconds and writes nothing by default.  ``cache``
-reports on-disk run-cache usage and, with ``--gc``, evicts
-least-recently-used entries down to the given limits.  ``--self-check``
-smoke-runs the executor, the run cache, the cached sweep path and the
-simulation core against built-in fixtures in a few seconds -- no long
-timings -- and is part of the CI tier; it includes the determinism
-sentinel replaying one full kernel-on-SoC workload on both the bucket
-and the reference heap event queue and requiring bit-for-bit identical
-finished jobs, traces and stats.
+micro-benchmark in seconds and writes nothing by default, and
+``--tlm`` runs just the fidelity-ladder section (TLM vs prototype on
+the Figure 4 anchor cells).  ``calibrate-tlm`` refits the TLM
+per-transaction cost table against fresh prototype runs and prints the
+fitted parameters plus the residual (the accuracy bound the TLM tests
+enforce).  ``cache`` reports on-disk run-cache usage and, with
+``--gc``, evicts least-recently-used entries down to the given limits.
+``--self-check`` smoke-runs the executor, the run cache, the cached
+sweep path and the simulation core against built-in fixtures in a few
+seconds -- no long timings -- and is part of the CI tier; it includes
+the determinism sentinel replaying one full kernel-on-SoC workload on
+both the bucket and the reference heap event queue and requiring
+bit-for-bit identical finished jobs, traces and stats, plus the TLM
+determinism invariant (same seed + config => bit-for-bit identical
+TLM schedule).
 
 Exit status: 0 on success, 1 on any failure.
 """
@@ -242,6 +249,42 @@ def self_check(out=None) -> int:
           heap_run[2] == bucket_run[2] and heap_run[3] == bucket_run[3],
           f"now={heap_run[3]}")
 
+    # -- TLM determinism invariant: same seed + config => bit-for-bit
+    #    identical schedule on the fast fidelity-ladder rung
+    def tlm_outcome() -> tuple:
+        from repro import CLOCK_HZ, TICK
+        from repro.simulators.tlm import TLMSimulator, per_task_wcrt
+        from repro.trace import TraceRecorder
+        from repro.workloads.automotive import (
+            AUTOMOTIVE_APERIODIC,
+            automotive_bindings,
+            build_automotive_taskset,
+            prepare_taskset,
+        )
+
+        taskset = prepare_taskset(
+            build_automotive_taskset(0.40, 2), 2, tick=TICK
+        )
+        arrival = int(1.0 * CLOCK_HZ)
+        trace = TraceRecorder()
+        sim = TLMSimulator(
+            taskset,
+            2,
+            tick=TICK,
+            bindings=automotive_bindings(),
+            aperiodic_arrivals={AUTOMOTIVE_APERIODIC: [arrival]},
+            trace=trace,
+        )
+        sim.run(arrival + int(12.0 * CLOCK_HZ))
+        return (tuple(trace.events), per_task_wcrt(sim.finished_jobs),
+                sim.stats())
+
+    tlm_first, tlm_second = tlm_outcome(), tlm_outcome()
+    check("tlm schedule bit-for-bit repeatable",
+          tlm_first == tlm_second and tlm_first[2]["tlm_transactions"] > 0,
+          f"{len(tlm_first[0])} event(s), "
+          f"{tlm_first[2]['tlm_transactions']} transaction(s)")
+
     # -- ISA dispatch table
     from repro.hw.assembler import assemble
     from repro.hw.isa import ISAExecutor
@@ -285,21 +328,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     out = args.out
     if out is None:
-        # Engine-only results must not overwrite a full BENCH_perf.json,
-        # so the quick mode writes nothing unless --out is explicit.
-        out = "" if args.engine_only else BENCH_FILE
+        # Partial results must not overwrite a full BENCH_perf.json,
+        # so the section-only modes write nothing unless --out is
+        # explicit.
+        out = "" if (args.engine_only or args.tlm) else BENCH_FILE
     results = run_benchmarks(out=out, workers=args.workers or None,
-                             quick=args.quick, engine_only=args.engine_only)
+                             quick=args.quick, engine_only=args.engine_only,
+                             tlm_only=args.tlm)
     print(format_results(results))
     if out:
         print(f"benchmark results written to {out}", file=sys.stderr)
+    if args.tlm:
+        ok = results["tlm"]["accurate"]
+        if not ok:
+            print("FAIL: TLM rung drifted outside the calibrated accuracy "
+                  "bound -- re-run repro-perf calibrate-tlm", file=sys.stderr)
+        return 0 if ok else 1
     if args.engine_only:
         return 0
-    ok = results["figure4"]["identical"] and results["cache"]["identical"]
+    ok = (results["figure4"]["identical"] and results["cache"]["identical"]
+          and results["tlm"]["accurate"])
     if not ok:
-        print("FAIL: parallel or cached results differ from serial",
-              file=sys.stderr)
+        print("FAIL: parallel/cached results differ from serial, or the TLM "
+              "rung drifted outside its accuracy bound", file=sys.stderr)
     return 0 if ok else 1
+
+
+def _cmd_calibrate_tlm(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.simulators.tlm import ANCHOR_CELLS, DEFAULT_COST_TABLE, calibrate
+
+    table = calibrate(scale=args.scale)
+    if args.json:
+        print(json.dumps(table.to_dict(), indent=2))
+    else:
+        cells = ", ".join(f"{n}P/{u:.0%}" for n, u in ANCHOR_CELLS)
+        print(f"calibrated against prototype anchors: {cells} "
+              f"(scale {args.scale})")
+        print(f"  wait_gain     = {table.wait_gain}")
+        print(f"  base_overhead = {table.base_overhead}")
+        print(f"  priority_skew = {table.priority_skew}")
+        print(f"  residual      = {table.residual} "
+              f"(max relative per-task WCRT deviation)")
+        if table != DEFAULT_COST_TABLE:
+            print("note: fitted table differs from the committed "
+                  "DEFAULT_COST_TABLE in repro/simulators/tlm.py -- "
+                  "update it (and the residual-derived test tolerance "
+                  "follows automatically)", file=sys.stderr)
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -350,7 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--engine-only", action="store_true",
                        help="run only the event-core micro-benchmark "
                        "(seconds; writes nothing unless --out is given)")
+    bench.add_argument("--tlm", action="store_true",
+                       help="run only the fidelity-ladder section (TLM vs "
+                       "prototype on the Figure 4 anchor cells; writes "
+                       "nothing unless --out is given)")
     bench.set_defaults(func=_cmd_bench)
+
+    calibrate = commands.add_parser(
+        "calibrate-tlm",
+        help="refit the TLM per-transaction cost table against fresh "
+        "prototype runs on the anchor cells")
+    calibrate.add_argument("--scale", type=int, default=1_000,
+                           help="prototype time-scale divisor for the "
+                           "reference runs (default 1000)")
+    calibrate.add_argument("--json", action="store_true",
+                           help="emit the fitted table as JSON")
+    calibrate.set_defaults(func=_cmd_calibrate_tlm)
 
     cache = commands.add_parser(
         "cache", help="report run-cache disk usage; --gc evicts LRU entries")

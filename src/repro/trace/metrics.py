@@ -8,6 +8,7 @@ real-vs-theoretical gap.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -32,13 +33,19 @@ class ResponseStats:
         values = [j.response_time for j in jobs if j.response_time is not None]
         if not values:
             raise ValueError(f"no finished jobs for task {task}")
+        mean = statistics.fmean(values)
+        # Float population variance: statistics.pstdev promotes int data
+        # to exact Fractions, which dominates the metrics fold on large
+        # runs; response times are cycle counts, floats lose nothing
+        # that the stdev display precision keeps.
+        variance = statistics.fmean((v - mean) ** 2 for v in values)
         return cls(
             task=task,
             count=len(values),
-            mean=statistics.fmean(values),
+            mean=mean,
             minimum=min(values),
             maximum=max(values),
-            stdev=statistics.pstdev(values) if len(values) > 1 else 0.0,
+            stdev=math.sqrt(variance) if len(values) > 1 else 0.0,
         )
 
 

@@ -20,6 +20,7 @@ kind            meaning
 ``unlock``      sync-engine lock released (info ``lock=N``)
 ``barrier``     barrier arrival (info ``barrier=N width=W``)
 ``access``      shared-memory access (info ``addr=0x.. op=read|write``)
+``tlm_block``   TLM timed block closed (info ``start=.. nominal=.. stretch=..``)
 ``fault_injected``  injector fired a plan event (info = fault kind)
 ``fault``       kernel consumed a crash/overrun fault
 ``deadline_miss``  watchdog: no valid completion by the deadline
@@ -79,6 +80,9 @@ KINDS = {
     "unlock",
     "barrier",
     "access",
+    # TLM tier (repro.simulators.tlm): one event per closed timed
+    # block, carrying its nominal progress and stretch factor.
+    "tlm_block",
     # Fault tier (repro.faults, docs/FAULTS.md): injection instants,
     # kernel-consumed faults and every recovery action.
     "fault_injected",

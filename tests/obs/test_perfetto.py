@@ -7,6 +7,7 @@ import pytest
 from repro.obs.perfetto import (
     SCHEDULER_TID,
     SOC_PID,
+    TLM_TID_BASE,
     chrome_trace_json,
     trace_to_chrome,
     write_chrome_trace,
@@ -106,3 +107,41 @@ class TestSerialisation:
             {"ph": "M", "pid": SOC_PID, "tid": 0, "name": "process_name",
              "args": {"name": "soc"}}
         ]
+
+
+class TestTLMTrack:
+    def _trace(self):
+        trace = TraceRecorder()
+        trace.record(500, "tlm_block", job="a#0", cpu=0,
+                     info="start=100 nominal=380 stretch=1.0500")
+        trace.record(900, "tlm_block", job="b#0", cpu=1,
+                     info="start=600 nominal=290 stretch=1.0000")
+        return trace
+
+    def test_blocks_become_slices_on_tlm_tracks(self):
+        doc = trace_to_chrome(self._trace(), clock_hz=1_000_000)
+        slices = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] == "tlm"]
+        assert [(s["name"], s["tid"], s["ts"], s["dur"]) for s in slices] == [
+            (("a#0"), TLM_TID_BASE + 0, 100.0, 400.0),
+            (("b#0"), TLM_TID_BASE + 1, 600.0, 300.0),
+        ]
+        # Contention adjustment is annotated on every block.
+        assert slices[0]["args"]["contention_stretch"] == "1.0500"
+        assert slices[0]["args"]["nominal_cycles"] == "380"
+
+    def test_tlm_tracks_named(self):
+        doc = trace_to_chrome(self._trace())
+        names = {(e["tid"], e["args"]["name"])
+                 for e in doc["traceEvents"] if e["ph"] == "M"
+                 and e["name"] == "thread_name"}
+        assert (TLM_TID_BASE + 0, "tlm-cpu0") in names
+        assert (TLM_TID_BASE + 1, "tlm-cpu1") in names
+
+    def test_malformed_info_degrades_to_instantaneous_slice(self):
+        trace = TraceRecorder()
+        trace.record(500, "tlm_block", job="a#0", cpu=0, info="garbage")
+        doc = trace_to_chrome(trace, clock_hz=1_000_000)
+        (block,) = [e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["cat"] == "tlm"]
+        assert block["ts"] == 500.0 and block["dur"] == 0.0

@@ -99,7 +99,9 @@ class TestBenchEndToEnd:
         assert results["cache"]["hit_rate"] == 0.5  # warm run all hits
         on_disk = json.loads(out.read_text())
         assert on_disk["engine"]["events"] == results["engine"]["events"]
-        assert set(on_disk) == {"version", "host", "engine", "figure4", "cache"}
+        assert set(on_disk) == {"version", "host", "engine", "figure4",
+                                "cache", "tlm"}
         assert "speedup" in on_disk["figure4"]
+        assert on_disk["tlm"]["accurate"]
         text = bench.format_results(results)
-        assert "figure4" in text and "cache" in text
+        assert "figure4" in text and "cache" in text and "tlm" in text
