@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import argparse
 import functools
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import CLOCK_HZ, TICK, cycles_to_seconds
-from repro.perf.cache import RunCache, cache_key, taskset_rows
-from repro.perf.executor import pmap
+from repro.obs.ledger import Ledger, LedgerEntry
+from repro.perf.cache import RunCache, cache_key, fingerprint, taskset_rows
+from repro.perf.executor import Telemetry, current_telemetry, pmap
 from repro.simulators.prototype import FIDELITIES, PrototypeConfig, PrototypeSimulator
 from repro.simulators.theoretical import TheoreticalSimulator
 from repro.trace.metrics import compute_metrics
@@ -192,7 +194,16 @@ def _run_cell_point(
 ) -> Figure4Cell:
     """Picklable per-cell worker body for the parallel sweep."""
     n_cpus, utilization = point
-    return run_cell(n_cpus, utilization, scale=scale, fidelity=fidelity)
+    telemetry = current_telemetry()
+    if telemetry is None:
+        return run_cell(n_cpus, utilization, scale=scale, fidelity=fidelity)
+    with telemetry.spans.span("cell", n_cpus=n_cpus,
+                              utilization=utilization, fidelity=fidelity):
+        cell = run_cell(n_cpus, utilization, scale=scale, fidelity=fidelity)
+    telemetry.metrics.counter(
+        "sweep_cells_total", labels={"fidelity": fidelity},
+        help="sweep cells evaluated (cache hits excluded)").inc()
+    return cell
 
 
 def figure4_sweep(
@@ -202,6 +213,8 @@ def figure4_sweep(
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
     fidelity: str = "prototype",
+    telemetry: Optional[Telemetry] = None,
+    ledger: Optional[Ledger] = None,
 ) -> List[Figure4Cell]:
     """The full Figure 4 grid.
 
@@ -212,29 +225,87 @@ def figure4_sweep(
     configuration, fidelity rung and package version) are loaded
     instead of re-run.  ``fidelity`` picks the rung standing in for
     the "real" column (see :func:`run_cell`).
+
+    ``telemetry`` records the sweep as spans (``sweep`` -> per-cell
+    ``cell`` spans, cache hits/misses as events on the sweep span) and
+    per-cell counters, merged deterministically across workers;
+    ``ledger`` appends one ``figure4`` entry to the run history.
     """
+    started = time.perf_counter()
     points = [(n_cpus, u) for n_cpus in cpus for u in utilizations]
     cells: List[Optional[Figure4Cell]] = [None] * len(points)
-    pending = list(range(len(points)))
-    keys: List[Optional[str]] = [None] * len(points)
-    if cache is not None:
-        pending = []
-        for index, (n_cpus, utilization) in enumerate(points):
-            keys[index] = _cell_key(n_cpus, utilization, scale, fidelity)
-            hit, value = cache.lookup(keys[index])
-            if hit:
-                cells[index] = Figure4Cell(**value)
-            else:
-                pending.append(index)
-    computed = pmap(
-        functools.partial(_run_cell_point, scale=scale, fidelity=fidelity),
-        [points[i] for i in pending],
-        max_workers=max_workers,
+    # No execution-geometry attrs (worker count) on the sweep span: span
+    # structure must not vary with parallelism.
+    sweep_ctx = (
+        telemetry.spans.span("sweep", tag="figure4", cells=len(points))
+        if telemetry is not None else None
     )
-    for index, cell in zip(pending, computed):
-        cells[index] = cell
+    if sweep_ctx is not None:
+        sweep_ctx.__enter__()
+    try:
+        pending = list(range(len(points)))
+        keys: List[Optional[str]] = [None] * len(points)
+        hits = 0
         if cache is not None:
-            cache.put(keys[index], asdict(cell))
+            pending = []
+            for index, (n_cpus, utilization) in enumerate(points):
+                keys[index] = _cell_key(n_cpus, utilization, scale, fidelity)
+                hit, value = cache.lookup(keys[index])
+                if telemetry is not None:
+                    name = "cache_hit" if hit else "cache_miss"
+                    telemetry.spans.event(name, index=index,
+                                          key=keys[index][:16])
+                    telemetry.metrics.counter(
+                        "sweep_cache_lookups_total",
+                        labels={"outcome": name[6:]},
+                        help="run-cache lookups by outcome").inc()
+                if hit:
+                    cells[index] = Figure4Cell(**value)
+                    hits += 1
+                else:
+                    pending.append(index)
+        computed = pmap(
+            functools.partial(_run_cell_point, scale=scale, fidelity=fidelity),
+            [points[i] for i in pending],
+            max_workers=max_workers,
+            telemetry=telemetry,
+        )
+        for index, cell in zip(pending, computed):
+            cells[index] = cell
+            if cache is not None:
+                cache.put(keys[index], asdict(cell))
+    finally:
+        if sweep_ctx is not None:
+            sweep_ctx.__exit__(None, None, None)
+    if ledger is not None:
+        misses = len(points) - hits
+        slowdowns = [cell.slowdown_pct for cell in cells if cell is not None]
+        ledger.append(LedgerEntry(
+            kind="figure4",
+            label="figure4_sweep",
+            config_hash=fingerprint({
+                "cpus": list(cpus), "utilizations": list(utilizations),
+                "scale": scale, "fidelity": fidelity,
+            }),
+            fidelity=fidelity,
+            wall_time_s=round(time.perf_counter() - started, 4),
+            cells=len(points),
+            cache=(
+                {"hits": hits, "misses": misses,
+                 "hit_rate": round(hits / len(points), 4) if points else 0.0}
+                if cache is not None else None
+            ),
+            metrics_digest=(
+                fingerprint(telemetry.metrics.snapshot())
+                if telemetry is not None else None
+            ),
+            results=(
+                {"max_slowdown_pct": round(max(slowdowns), 4),
+                 "mean_slowdown_pct":
+                     round(sum(slowdowns) / len(slowdowns), 4)}
+                if slowdowns else {}
+            ),
+        ))
     return cells
 
 
@@ -268,12 +339,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fidelity", choices=list(FIDELITIES),
                         default="prototype",
                         help="simulation rung for the 'real' column")
+    parser.add_argument("--ledger", metavar="FILE", nargs="?",
+                        const="", default=None,
+                        help="append this run to the persistent run ledger "
+                             "(default: .repro/ledger.jsonl or $REPRO_LEDGER)")
     args = parser.parse_args(argv)
 
     cache = RunCache(args.cache) if args.cache else None
+    ledger = (Ledger(args.ledger or None)
+              if args.ledger is not None else None)
     cells = figure4_sweep(args.cpus, args.utilizations, scale=args.scale,
                           max_workers=args.workers, cache=cache,
-                          fidelity=args.fidelity)
+                          fidelity=args.fidelity, ledger=ledger)
     print("Figure 4 -- aperiodic (susan/large) response time")
     print(f"standalone execution: {APERIODIC_STANDALONE_S} s; paper's")
     print(f"theoretical worst case with switching: {APERIODIC_THEORETICAL_WORST_S} s")
@@ -283,6 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         stats = cache.stats()
         print(f"\ncache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
               f"({stats['hit_rate']:.0%} hit rate) in {stats['root']}")
+    if ledger is not None:
+        print(f"ledger: appended figure4 entry to {ledger.path}")
     return 0
 
 

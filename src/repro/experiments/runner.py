@@ -14,6 +14,7 @@ import functools
 import io
 import itertools
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -22,8 +23,9 @@ from repro.hw.microblaze import ExecutionProfile
 from repro.kernel.costs import KernelCosts
 from repro.kernel.microkernel import TaskBinding
 from repro.lint.tasks import check_taskset
-from repro.perf.cache import RunCache, cache_key
-from repro.perf.executor import pmap
+from repro.obs.ledger import Ledger, LedgerEntry
+from repro.perf.cache import RunCache, cache_key, fingerprint
+from repro.perf.executor import Telemetry, current_telemetry, pmap
 from repro.simulators.prototype import FIDELITIES, PrototypeConfig, PrototypeSimulator
 from repro.trace.metrics import compute_metrics
 from repro.workloads.automotive import (
@@ -95,10 +97,38 @@ class SweepResult:
         return [row[key] for row in self.rows]
 
 
+def _pipeline_span(name: str, **attrs: Any):
+    """A span on the active telemetry, or a no-op context.
+
+    This is the whole disabled-path cost of span tracing: one module
+    global read and a ``None`` check per *cell* (not per event).
+    """
+    telemetry = current_telemetry()
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.spans.span(name, **attrs)
+
+
 def _eval_point(measure: Callable[..., Mapping[str, Any]], point: Dict[str, Any]) -> Dict[str, Any]:
     """One sweep cell: parameters first, then the measured columns."""
-    row = dict(point)
-    row.update(measure(**point))
+    telemetry = current_telemetry()
+    if telemetry is None:
+        row = dict(point)
+        row.update(measure(**point))
+        return row
+    with telemetry.spans.span("cell", **point):
+        row = dict(point)
+        with telemetry.spans.span("measure", measure=_measure_tag(measure)):
+            row.update(measure(**point))
+    labels = ({"fidelity": point["fidelity"]} if "fidelity" in point else None)
+    telemetry.metrics.counter(
+        "sweep_cells_total", labels=labels,
+        help="sweep cells evaluated (cache hits excluded)").inc()
+    misses = row.get("misses")
+    if isinstance(misses, int):
+        telemetry.metrics.counter(
+            "sweep_deadline_misses_total", labels=labels,
+            help="deadline misses summed over evaluated cells").inc(misses)
     return row
 
 
@@ -129,6 +159,9 @@ def sweep(
     cache_tag: Optional[str] = None,
     fidelity: Optional[str] = None,
     record_timing: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    ledger: Optional[Ledger] = None,
+    ledger_kind: str = "sweep",
 ) -> SweepResult:
     """Run ``measure(**point)`` over the cartesian product of ``grid``.
 
@@ -155,7 +188,18 @@ def sweep(
     machine-dependent, and cache hits replay the *computing* run's
     timing, so timed sweeps are for sizing runs, not for comparing
     against cached results.
+
+    ``telemetry`` turns on pipeline observability: the sweep runs
+    under a ``sweep`` span, every computed cell records ``cell`` /
+    ``measure`` / ``simulate`` child spans and per-cell counters (in
+    the worker process when parallel -- the executor ships them home
+    and merges in submission order), and cache hits/misses land as
+    span events on the sweep span.  ``ledger`` additionally appends
+    one :class:`~repro.obs.ledger.LedgerEntry` (kind ``ledger_kind``)
+    recording the run's config hash, wall time, cache share and
+    metrics digest.
     """
+    started = time.perf_counter()
     grid_names = list(grid.keys())
     names = list(grid_names)
     extra: Dict[str, Any] = {}
@@ -173,26 +217,32 @@ def sweep(
         dict(zip(grid_names, values), **extra)
         for values in itertools.product(*(grid[name] for name in grid_names))
     ]
+    tag = cache_tag or _measure_tag(measure)
     result = SweepResult(parameters=names)
     before = (cache.hits, cache.misses) if cache is not None else (0, 0)
-    result.rows.extend(
-        _cached_pmap(
-            functools.partial(
-                _timed_eval_point if record_timing else _eval_point, measure
-            ),
-            points,
-            max_workers=max_workers,
-            cache=cache,
-            keys=None if cache is None else [
-                cache_key(
-                    kind="sweep",
-                    tag=cache_tag or _measure_tag(measure),
-                    point=point,
-                )
-                for point in points
-            ],
-        )
+    # Execution geometry (worker count, chunking) is deliberately NOT a
+    # span attribute: span structure must be identical whatever the
+    # parallelism, so only workload-identity attrs go on the sweep span.
+    sweep_span = (
+        telemetry.spans.span("sweep", tag=tag, cells=len(points))
+        if telemetry is not None else nullcontext()
     )
+    with sweep_span:
+        result.rows.extend(
+            _cached_pmap(
+                functools.partial(
+                    _timed_eval_point if record_timing else _eval_point, measure
+                ),
+                points,
+                max_workers=max_workers,
+                cache=cache,
+                keys=None if cache is None else [
+                    cache_key(kind="sweep", tag=tag, point=point)
+                    for point in points
+                ],
+                telemetry=telemetry,
+            )
+        )
     if cache is not None:
         # Surface this sweep's share of the cache accounting instead of
         # silently dropping it (the cache object may be long-lived).
@@ -204,7 +254,39 @@ def sweep(
             "misses": misses,
             "hit_rate": round(hits / total, 4) if total else 0.0,
         }
+    if ledger is not None:
+        ledger.append(LedgerEntry(
+            kind=ledger_kind,
+            label=tag,
+            config_hash=fingerprint(
+                {"tag": tag, "grid": {k: list(v) for k, v in grid.items()},
+                 "fidelity": fidelity}
+            ),
+            fidelity=fidelity,
+            wall_time_s=round(time.perf_counter() - started, 4),
+            cells=len(points),
+            cache=result.cache_stats,
+            metrics_digest=(
+                fingerprint(telemetry.metrics.snapshot())
+                if telemetry is not None else None
+            ),
+            results=_sweep_ledger_results(result),
+        ))
     return result
+
+
+def _sweep_ledger_results(result: SweepResult) -> Dict[str, Any]:
+    """The diffable scalar summary a sweep leaves in the ledger."""
+    out: Dict[str, Any] = {}
+    misses = [r["misses"] for r in result.rows
+              if isinstance(r.get("misses"), int)]
+    if misses:
+        out["total_deadline_misses"] = sum(misses)
+    responses = [r["response_s"] for r in result.rows
+                 if isinstance(r.get("response_s"), (int, float))]
+    if responses:
+        out["mean_response_s"] = round(sum(responses) / len(responses), 6)
+    return out
 
 
 def _cached_pmap(
@@ -213,25 +295,39 @@ def _cached_pmap(
     max_workers: int = 1,
     cache: Optional[RunCache] = None,
     keys: Optional[Sequence[str]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Any]:
     """:func:`pmap` with a content-addressed cache in front.
 
     Cache hits are taken as-is; only misses are computed (in parallel
     when requested) and stored; the combined results come back in item
     order, so cached and fresh runs interleave transparently.
+
+    With ``telemetry``, every lookup lands as a ``cache_hit`` /
+    ``cache_miss`` event on the current span plus a labelled counter.
+    Lookups always run in the *calling* process (serial or parallel),
+    so the event order is the item order either way -- part of the
+    serial == parallel determinism contract.
     """
     if cache is None:
-        return pmap(fn, items, max_workers=max_workers)
+        return pmap(fn, items, max_workers=max_workers, telemetry=telemetry)
     assert keys is not None and len(keys) == len(items)
     results: List[Any] = [None] * len(items)
     pending: List[int] = []
     for index, key in enumerate(keys):
         hit, value = cache.lookup(key)
+        if telemetry is not None:
+            name = "cache_hit" if hit else "cache_miss"
+            telemetry.spans.event(name, index=index, key=key[:16])
+            telemetry.metrics.counter(
+                "sweep_cache_lookups_total", labels={"outcome": name[6:]},
+                help="run-cache lookups by outcome").inc()
         if hit:
             results[index] = value
         else:
             pending.append(index)
-    computed = pmap(fn, [items[i] for i in pending], max_workers=max_workers)
+    computed = pmap(fn, [items[i] for i in pending], max_workers=max_workers,
+                    telemetry=telemetry)
     for index, value in zip(pending, computed):
         cache.put(keys[index], value)
         results[index] = value
@@ -273,7 +369,8 @@ def prototype_response_s(
         theo = TheoreticalSimulator(
             taskset, n_cpus, tick=TICK, overhead=0.02, aperiodic_arrivals=arrivals
         )
-        theo.run(horizon)
+        with _pipeline_span("simulate", fidelity=fidelity, horizon=horizon):
+            theo.run(horizon)
         metrics = compute_metrics(theo.finished_jobs, horizon)
         return {
             "response_s": cycles_to_seconds(
@@ -294,7 +391,8 @@ def prototype_response_s(
             aperiodic_arrivals=arrivals,
             costs=costs or KernelCosts(),
         )
-        sim.run(horizon)
+        with _pipeline_span("simulate", fidelity=fidelity, horizon=horizon):
+            sim.run(horizon)
         metrics = compute_metrics(sim.finished_jobs, horizon)
         stats = sim.stats()
         return {
@@ -320,7 +418,8 @@ def prototype_response_s(
     )
     if mpic_ack_timeout is not None:
         proto.soc.intc.ack_timeout = mpic_ack_timeout
-    proto.run(horizon)
+    with _pipeline_span("simulate", fidelity=fidelity, horizon=horizon):
+        proto.run(horizon)
     metrics = compute_metrics(proto.finished_jobs, horizon // scale)
     response = proto.to_full_scale(
         int(metrics.response_of(AUTOMOTIVE_APERIODIC).mean)
@@ -590,6 +689,8 @@ def fault_campaign(
     cache: Optional[RunCache] = None,
     perfetto_out: Optional[str] = None,
     fidelity: str = "prototype",
+    telemetry: Optional[Telemetry] = None,
+    ledger: Optional[Ledger] = None,
 ) -> SweepResult:
     """N seeded fault-injection runs over the ``pmap`` pool.
 
@@ -609,6 +710,9 @@ def fault_campaign(
     ``fidelity`` is threaded for cache-key/column uniformity with the
     other sweeps, but only the ``prototype`` rung carries the
     kernel-level fault surface, so any other value raises.
+
+    ``telemetry`` / ``ledger`` behave as in :func:`sweep`; campaign
+    ledger entries are recorded under kind ``campaign``.
     """
     result = sweep(
         _fault_campaign_cell,
@@ -623,6 +727,9 @@ def fault_campaign(
         cache=cache,
         cache_tag="fault_campaign",
         fidelity=fidelity,
+        telemetry=telemetry,
+        ledger=ledger,
+        ledger_kind="campaign",
     )
     if perfetto_out is not None:
         from repro.faults.plan import random_plan

@@ -1,10 +1,12 @@
 """``repro-obs``: the observability front end.
 
-Three modes, mirroring ``repro-lint``/``repro-perf``::
+Five modes, mirroring ``repro-lint``/``repro-perf``::
 
     repro-obs report [--cpus 2] [--util 0.5] [--scale N] [--out report.json]
                      [--prometheus] [--trace-jsonl FILE] [--perfetto FILE]
     repro-obs convert TRACE [--to perfetto|json|csv|jsonl] [--out FILE]
+    repro-obs history [--last N] [--kind sweep|bench|...] [--ledger FILE]
+    repro-obs diff A B [--threshold 0.10] [--ledger FILE] [--verbose]
     repro-obs --self-check
 
 ``report`` runs one fully instrumented Figure-4-style prototype cell
@@ -12,9 +14,16 @@ and emits its :class:`~repro.obs.report.RunReport` (JSON by default,
 Prometheus text with ``--prometheus``); ``convert`` re-encodes a
 recorded trace (JSON / CSV / JSONL autodetected by extension) into a
 Perfetto-loadable Chrome trace or any of the flat formats.
-``--self-check`` smoke-runs the registry, the sinks, the exporter and
-an instrumented micro-run against built-in fixtures in a few seconds
-and is part of the CI tier.
+``history`` lists the persistent run ledger
+(:mod:`repro.obs.ledger`); ``diff`` compares two runs -- each side a
+ledger index (``-1`` = newest) or a JSON results file such as
+``BENCH_perf.json`` -- under a relative regression threshold and
+exits 1 when a metric moved past it in its bad direction.
+``--self-check`` smoke-runs the registry, the sinks, the exporter,
+span tracing, the cross-process merge invariant (a parallel sweep's
+merged metrics must equal the serial run's bit for bit), the
+Prometheus parser round-trip and the ledger against built-in fixtures
+in a few seconds and is part of the CI tier.
 
 Exit status: 0 on success, 1 on any failure.
 """
@@ -27,6 +36,11 @@ import os
 import sys
 import tempfile
 from typing import List, Optional
+
+
+def _probe_measure(x: int) -> dict:
+    """Module-level (picklable) measure for the cross-process checks."""
+    return {"y": x * x, "misses": x % 2}
 
 
 # ------------------------------------------------------------------ self-check
@@ -185,6 +199,156 @@ def self_check(out=None) -> int:
                   for e in tlm_chrome["traceEvents"]),
           f"{len(tlm_slices)} block slice(s)")
 
+    # -- span recorder invariants
+    from repro.obs.spans import SpanRecorder, spans_from_jsonl
+
+    recorder = SpanRecorder()
+    with recorder.span("outer", k=1) as outer:
+        with recorder.span("inner") as inner:
+            recorder.event("mark", n=2)
+    check("span ids monotonic, nesting parented",
+          [s.span_id for s in recorder.spans] == [1, 2]
+          and inner.parent_id == outer.span_id
+          and outer.parent_id is None
+          and all(s.end_s is not None and s.end_s >= s.start_s
+                  for s in recorder.spans)
+          and recorder.spans[1].events[0].name == "mark")
+    with tempfile.TemporaryDirectory(prefix="repro-obs-spans-") as root:
+        span_path = os.path.join(root, "spans.jsonl")
+        recorder.write_jsonl(span_path)
+        reloaded_spans = spans_from_jsonl(span_path)
+        check("spans JSONL round-trip",
+              [s.to_dict() for s in reloaded_spans]
+              == [s.to_dict() for s in recorder.spans])
+
+    # -- registry merge invariant (direct)
+    def _fill(reg: MetricsRegistry, values) -> MetricsRegistry:
+        for value in values:
+            reg.counter("ops_total").inc()
+            reg.histogram("cost", buckets=(10, 100)).observe(value)
+            reg.gauge("last").set(value)
+        return reg
+    serial_reg = _fill(MetricsRegistry(), [5, 50, 500, 7])
+    merged_reg = _fill(MetricsRegistry(), [5, 50])
+    merged_reg.merge(_fill(MetricsRegistry(), [500, 7]))
+    check("registry merge == serial bit-for-bit",
+          merged_reg.to_json() == serial_reg.to_json())
+
+    # -- cross-process sweep: workers=1 vs workers=2, merged telemetry
+    from repro.experiments.runner import sweep
+    from repro.perf.executor import Telemetry
+
+    serial_t = Telemetry()
+    serial_sweep = sweep(_probe_measure, {"x": [1, 2, 3, 4]},
+                         max_workers=1, telemetry=serial_t)
+    parallel_t = Telemetry()
+    parallel_sweep = sweep(_probe_measure, {"x": [1, 2, 3, 4]},
+                           max_workers=2, telemetry=parallel_t)
+    check("cross-process merged metrics == serial bit-for-bit",
+          parallel_t.metrics.to_json() == serial_t.metrics.to_json()
+          and parallel_sweep.rows == serial_sweep.rows,
+          f"{len(parallel_t.metrics.snapshot())} families")
+    check("cross-process span structure == serial",
+          parallel_t.spans.structure() == serial_t.spans.structure()
+          and len(parallel_t.spans) == len(serial_t.spans) > 0,
+          f"{len(parallel_t.spans)} span(s)")
+    worker_labels = {s.process for s in parallel_t.spans} - {"main"}
+    check("worker spans carry process labels",
+          all(label.startswith("worker-") for label in worker_labels),
+          f"labels={sorted(worker_labels)}")
+
+    # -- perfetto: per-worker process tracks + cache hit/miss instants
+    from repro.obs.perfetto import SPAN_PID_BASE, spans_to_events
+    from repro.perf.cache import RunCache
+
+    span_events = spans_to_events(list(parallel_t.spans))
+    process_metas = {e["args"]["name"]: e["pid"] for e in span_events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+    check("perfetto span export: distinct per-worker process tracks",
+          process_metas.get("main") == SPAN_PID_BASE
+          and len(process_metas) >= 2
+          and len(set(process_metas.values())) == len(process_metas),
+          f"tracks={sorted(process_metas)}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-ledger-") as root:
+        cache = RunCache(os.path.join(root, "cache"))
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(os.path.join(root, "ledger.jsonl"))
+        cold_t = Telemetry()
+        sweep(_probe_measure, {"x": [1, 2]}, cache=cache,
+              cache_tag="obs-check", telemetry=cold_t, ledger=ledger)
+        warm_t = Telemetry()
+        warm = sweep(_probe_measure, {"x": [1, 2]}, cache=cache,
+                     cache_tag="obs-check", telemetry=warm_t, ledger=ledger)
+        warm_events = [e.name for s in warm_t.spans for e in s.events]
+        check("cache hits/misses land as span events",
+              [e.name for s in cold_t.spans for e in s.events]
+              == ["cache_miss", "cache_miss"]
+              and warm_events == ["cache_hit", "cache_hit"],
+              f"warm={warm_events}")
+        warm_chrome = spans_to_events(list(warm_t.spans))
+        check("perfetto span export: cache instants on the sweep track",
+              sum(1 for e in warm_chrome
+                  if e["ph"] == "i" and e["name"] == "cache_hit") == 2)
+
+        # -- ledger: append, read back, diff
+        from repro.obs.ledger import diff_numeric
+
+        entries = ledger.entries()
+        check("ledger append/read round-trip",
+              len(entries) == 2
+              and all(e.kind == "sweep" and e.label == "obs-check"
+                      and e.cells == 2 for e in entries)
+              and entries[0].cache == {"hits": 0, "misses": 2, "hit_rate": 0.0}
+              and entries[1].cache == {"hits": 2, "misses": 0, "hit_rate": 1.0},
+              f"{len(entries)} entry(ies), corrupt={ledger.corrupt}")
+        check("ledger digests stable across cache state",
+              entries[0].metrics_digest and entries[0].config_hash
+              and entries[0].config_hash == entries[1].config_hash)
+        with open(ledger.path, "a") as handle:
+            handle.write("{not json\n")
+        survivors = ledger.entries()
+        check("ledger tolerates corrupt lines",
+              len(survivors) == 2 and ledger.corrupt == 1)
+
+    report_diff = diff_numeric({"wall_time_s": 1.0, "events_per_s": 100},
+                               {"wall_time_s": 2.0, "events_per_s": 100})
+    check("diff flags bad-direction movement",
+          report_diff["regressions"] == ["wall_time_s"])
+    report_diff = diff_numeric({"wall_time_s": 2.0, "events_per_s": 100},
+                               {"wall_time_s": 1.0, "events_per_s": 150})
+    check("diff never flags improvements",
+          report_diff["regressions"] == []
+          and all(not row["regressed"] for row in report_diff["rows"]))
+
+    # -- prometheus exposition round-trip (writer -> strict parser)
+    from repro.obs.metrics import parse_prometheus_text
+
+    exported = MetricsRegistry()
+    exported.counter("reqs_total",
+                     labels={"path": 'a"b\\c\nd'},
+                     help='requests with "quotes"\nand newlines').inc(7)
+    tricky = exported.histogram("lat_cycles", buckets=(10, 100))
+    for value in (5, 50, 500):
+        tricky.observe(value)
+    parsed = parse_prometheus_text(exported.to_prometheus_text())
+    counter_samples = parsed["reqs_total"]["samples"]
+    bucket_rows = {labels: value
+                   for name, labels, value in parsed["lat_cycles"]["samples"]
+                   if name == "lat_cycles_bucket"}
+    check("prometheus round-trip: escaped labels survive",
+          counter_samples == [("reqs_total", (("path", 'a"b\\c\nd'),), 7.0)]
+          and parsed["reqs_total"]["type"] == "counter",
+          str(counter_samples))
+    check("prometheus round-trip: histogram buckets and count",
+          bucket_rows.get((("le", "+Inf"),)) == 3.0
+          and any(name == "lat_cycles_count" and value == 3.0
+                  for name, _, value in parsed["lat_cycles"]["samples"])
+          and any(name == "lat_cycles_sum" and value == 555.0
+                  for name, _, value in parsed["lat_cycles"]["samples"]),
+          str(sorted(bucket_rows.items())))
+
     print(
         f"self-check: {'PASS' if not failures else 'FAIL'} "
         f"({len(failures)} failure(s))",
@@ -278,6 +442,77 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- history / diff
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import Ledger, format_history
+
+    ledger = Ledger(args.ledger or None)
+    entries = ledger.entries()
+    if args.kind:
+        entries = [entry for entry in entries if entry.kind == args.kind]
+    if args.last:
+        entries = entries[-args.last:]
+    print(format_history(entries, ledger.corrupt))
+    return 0
+
+
+def _entry_diffable(entry) -> dict:
+    """The numeric surface of a ledger entry worth diffing.
+
+    ``when``/``version`` are identity, not performance; everything
+    else flattens into comparable scalars.
+    """
+    return {
+        "wall_time_s": entry.wall_time_s,
+        "cells": entry.cells,
+        "cache": entry.cache or {},
+        "results": entry.results,
+    }
+
+
+def _diff_source(spec: str, ledger) -> tuple:
+    """Resolve one ``diff`` operand: a ledger index or a JSON file.
+
+    ``-1`` is the newest ledger entry, ``-2`` the one before, matching
+    the offsets ``repro-obs history`` prints; anything that is not an
+    integer is read as a JSON results document (``BENCH_perf.json``,
+    a RunReport, ...).
+    """
+    try:
+        index = int(spec)
+    except ValueError:
+        with open(spec) as handle:
+            return json.load(handle), spec
+    entries = ledger.entries()
+    if not entries:
+        raise ValueError(f"ledger {ledger.path} has no entries")
+    try:
+        entry = entries[index]
+    except IndexError:
+        raise ValueError(
+            f"ledger index {index} out of range ({len(entries)} entry(ies))"
+        )
+    label = f"[{index}] {entry.kind} {entry.label} @ {entry.timestamp()}"
+    return _entry_diffable(entry), label
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import Ledger, diff_numeric, format_diff
+
+    ledger = Ledger(args.ledger or None)
+    try:
+        baseline, label_a = _diff_source(args.a, ledger)
+        candidate, label_b = _diff_source(args.b, ledger)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot resolve diff operand: {exc}", file=sys.stderr)
+        return 2
+    report = diff_numeric(baseline, candidate, threshold=args.threshold)
+    print(f"baseline : {label_a}")
+    print(f"candidate: {label_b}")
+    print(format_diff(report, verbose=args.verbose))
+    return 1 if report["regressions"] else 0
+
+
 # ----------------------------------------------------------------------- main
 def build_parser() -> argparse.ArgumentParser:
     from repro import CLOCK_HZ
@@ -324,6 +559,34 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--clock-hz", type=int, default=CLOCK_HZ,
                          help="cycle clock for perfetto timestamps")
     convert.set_defaults(func=_cmd_convert)
+
+    history = commands.add_parser(
+        "history", help="list the persistent run ledger (newest last)"
+    )
+    history.add_argument("--last", type=int, default=0,
+                         help="show only the newest N entries")
+    history.add_argument("--kind", default="",
+                         help="filter by entry kind (sweep/bench/figure4/...)")
+    history.add_argument("--ledger", default="",
+                         help="ledger file (default: $REPRO_LEDGER or "
+                         ".repro/ledger.jsonl)")
+    history.set_defaults(func=_cmd_history)
+
+    diff = commands.add_parser(
+        "diff", help="compare two runs (ledger indices like -1/-2, or JSON "
+        "results files); exit 1 on regression"
+    )
+    diff.add_argument("a", help="baseline: ledger index or JSON file")
+    diff.add_argument("b", help="candidate: ledger index or JSON file")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative movement flagged as regression "
+                      "(default 0.10)")
+    diff.add_argument("--ledger", default="",
+                      help="ledger file (default: $REPRO_LEDGER or "
+                      ".repro/ledger.jsonl)")
+    diff.add_argument("--verbose", action="store_true",
+                      help="show every shared metric, not just movers")
+    diff.set_defaults(func=_cmd_diff)
     return parser
 
 

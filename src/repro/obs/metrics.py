@@ -26,6 +26,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_CYCLE_BUCKETS",
     "DEFAULT_DEPTH_BUCKETS",
+    "parse_prometheus_text",
 ]
 
 #: Bucket upper bounds for cycle-latency histograms (log-ish spacing
@@ -55,8 +57,20 @@ def _labelset(labels: Optional[Mapping[str, Any]]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping (backslash, quote, newline)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping (backslash and newline only, per the format)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(labels: LabelSet, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -147,6 +161,25 @@ class Histogram:
         pairs.append(("+Inf", running + self.overflow))
         return pairs
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples in (bucket bounds must match)."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.overflow += other.overflow
+        self.total += other.total
+        self.count += other.count
+        if other.minimum is not None:
+            self.minimum = (other.minimum if self.minimum is None
+                            else min(self.minimum, other.minimum))
+        if other.maximum is not None:
+            self.maximum = (other.maximum if self.maximum is None
+                            else max(self.maximum, other.maximum))
+
 
 class _Family:
     """All series of one metric name (one type, shared histogram buckets)."""
@@ -213,6 +246,49 @@ class MetricsRegistry:
             series = family.series[key] = factory()
         return series
 
+    # ------------------------------------------------------------------ merge
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's series into this one.
+
+        The merge rule per instrument type is chosen so that merging
+        per-worker registries **in submission (chunk) order** reproduces
+        the serial run's registry bit for bit:
+
+        - counters add (grouping never changes an integer sum);
+        - histograms add counts/sum/min/max (exact for the
+          integer-valued cycle/count observations the pipeline emits);
+        - gauges take the incoming value -- last writer wins in merge
+          order, which is the serial program order.
+
+        A name registered with a different type, or a histogram family
+        with different buckets, raises ``ValueError``.  Returns
+        ``self`` so merges chain.
+        """
+        for name in sorted(other._families):
+            theirs = other._families[name]
+            family = self._family(name, theirs.kind, theirs.help,
+                                  buckets=theirs.buckets)
+            if family.buckets is None and theirs.buckets is not None:
+                family.buckets = theirs.buckets
+            for key in sorted(theirs.series):
+                instrument = theirs.series[key]
+                if theirs.kind == "histogram":
+                    mine = family.series.get(key)
+                    if mine is None:
+                        mine = family.series[key] = Histogram(instrument.buckets)
+                    mine.merge(instrument)
+                elif theirs.kind == "counter":
+                    mine = family.series.get(key)
+                    if mine is None:
+                        mine = family.series[key] = Counter()
+                    mine.value += instrument.value
+                else:  # gauge: last writer (merge order) wins
+                    mine = family.series.get(key)
+                    if mine is None:
+                        mine = family.series[key] = Gauge()
+                    mine.value = instrument.value
+        return self
+
     # ----------------------------------------------------------------- export
     def __len__(self) -> int:
         return len(self._families)
@@ -254,7 +330,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.series):
                 instrument = family.series[key]
@@ -272,3 +348,108 @@ class MetricsRegistry:
                         value = int(value)
                     lines.append(f"{name}{_label_text(key)} {value}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ------------------------------------------------------------------- parsing
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r'\s+(?P<value>\S+)\s*$'
+)
+#: One ``key="value"`` pair inside a label set (value may hold escapes).
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    # Left-to-right scan: sequential str.replace would corrupt values
+    # containing a literal backslash-n (r"\\n" must stay "\n"-literal,
+    # not become a newline).
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follow = value[index + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(
+                follow, "\\" + follow))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition-format text back into a families dict.
+
+    A strict scrape-side reader for round-trip tests and the ledger:
+    returns ``{family: {"type", "help", "samples": [(name, labels,
+    value)]}}`` where ``name`` keeps its ``_bucket``/``_sum``/
+    ``_count`` suffix and ``labels`` is a sorted tuple of pairs.
+    Malformed lines raise ``ValueError`` -- an export a parser cannot
+    read is a bug, not noise.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_for(name: str) -> Dict[str, Any]:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        return families.setdefault(
+            base, {"type": "untyped", "help": "", "samples": []}
+        )
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["help"] = _unescape_label_value(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        labels: List[Tuple[str, str]] = []
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(label_text):
+                labels.append((pair.group("key"),
+                               _unescape_label_value(pair.group("value"))))
+                consumed = pair.end()
+            leftover = label_text[consumed:].strip().strip(",").strip()
+            if leftover:
+                raise ValueError(
+                    f"line {lineno}: unparsable label text {leftover!r}"
+                )
+        raw = match.group("value")
+        if raw == "+Inf":
+            value: float = float("inf")
+        elif raw == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(raw)
+        family_for(match.group("name"))["samples"].append(
+            (match.group("name"), tuple(sorted(labels)), value)
+        )
+    return families

@@ -26,12 +26,14 @@ integer cycles at ``clock_hz`` (default: the 50 MHz prototype clock).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import CLOCK_HZ
+from repro.obs.spans import Span
 from repro.trace.recorder import TraceEvent, TraceRecorder
 
-__all__ = ["trace_to_chrome", "chrome_trace_json", "write_chrome_trace"]
+__all__ = ["trace_to_chrome", "chrome_trace_json", "write_chrome_trace",
+           "spans_to_events"]
 
 #: Kinds rendered as instants on their cpu track.
 INSTANT_KINDS = ("irq", "tick", "promote", "release", "migrate",
@@ -45,6 +47,11 @@ SOC_PID = 0
 SCHEDULER_TID = 1_000
 #: Base tid of the per-cpu TLM timed-block tracks (tid = base + cpu).
 TLM_TID_BASE = 2_000
+#: Base pid of the per-worker pipeline-span process tracks.  The SoC's
+#: cycle-time tracks stay under pid 0; host-side spans (sweep / cell /
+#: measure / simulate, recorded per worker process) each get their own
+#: pid so Perfetto shows one process group per worker.
+SPAN_PID_BASE = 100
 
 
 def _meta(name: str, tid: int, value: str) -> Dict[str, Any]:
@@ -87,10 +94,72 @@ def _tlm_slice(event: TraceEvent, scale: float) -> Dict[str, Any]:
     }
 
 
+def spans_to_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Pipeline spans -> trace events on per-worker process tracks.
+
+    Each distinct ``span.process`` label ("main" first, then worker
+    labels sorted) becomes its own Chrome process (pid
+    ``SPAN_PID_BASE + index``) so a parallel sweep renders as one track
+    group per worker.  Spans become complete (``"X"``) slices --
+    wall-clock timestamps are rebased to the earliest span start --
+    and span events (cache hits/misses, ...) become instants on the
+    same track.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    labels = sorted({span.process for span in spans},
+                    key=lambda label: (label != "main", label))
+    pids = {label: SPAN_PID_BASE + index
+            for index, label in enumerate(labels)}
+    t0 = min(span.start_s for span in spans)
+    t_end = max([span.end_s or span.start_s for span in spans]
+                + [event.time_s for span in spans for event in span.events])
+
+    out: List[Dict[str, Any]] = []
+    for label in labels:
+        out.append({"ph": "M", "pid": pids[label], "tid": 0,
+                    "name": "process_name", "args": {"name": label}})
+        out.append({"ph": "M", "pid": pids[label], "tid": 0,
+                    "name": "thread_name", "args": {"name": "pipeline"}})
+    for span in spans:
+        pid = pids[span.process]
+        start = span.start_s
+        end = span.end_s if span.end_s is not None else t_end
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update({str(k): v for k, v in span.attrs.items()})
+        out.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": "span",
+            "pid": pid,
+            "tid": 0,
+            "ts": (start - t0) * 1e6,
+            "dur": max(0.0, (end - start) * 1e6),
+            "args": args,
+        })
+        for event in span.events:
+            out.append({
+                "ph": "i",
+                "name": event.name,
+                "cat": "span_event",
+                "pid": pid,
+                "tid": 0,
+                "ts": (event.time_s - t0) * 1e6,
+                "s": "t",
+                "args": {"span_id": span.span_id,
+                         **{str(k): v for k, v in event.attrs.items()}},
+            })
+    return out
+
+
 def trace_to_chrome(
     trace: Union[TraceRecorder, Iterable[TraceEvent]],
     clock_hz: int = CLOCK_HZ,
     horizon: Optional[int] = None,
+    spans: Optional[Sequence[Span]] = None,
 ) -> Dict[str, Any]:
     """Render a trace as a Chrome trace-event dictionary.
 
@@ -165,6 +234,9 @@ def trace_to_chrome(
     for cpu in sorted(open_run):
         close_slice(cpu, end_of_trace)
 
+    if spans:
+        out.extend(spans_to_events(spans))
+
     return {"traceEvents": out, "displayTimeUnit": "ms",
             "metadata": {"clock_hz": clock_hz}}
 
@@ -174,9 +246,11 @@ def chrome_trace_json(
     clock_hz: int = CLOCK_HZ,
     horizon: Optional[int] = None,
     indent: Optional[int] = None,
+    spans: Optional[Sequence[Span]] = None,
 ) -> str:
     """The exporter's JSON text (what ``repro-obs convert`` writes)."""
-    return json.dumps(trace_to_chrome(trace, clock_hz=clock_hz, horizon=horizon),
+    return json.dumps(trace_to_chrome(trace, clock_hz=clock_hz, horizon=horizon,
+                                      spans=spans),
                       indent=indent)
 
 
@@ -185,8 +259,10 @@ def write_chrome_trace(
     path: str,
     clock_hz: int = CLOCK_HZ,
     horizon: Optional[int] = None,
+    spans: Optional[Sequence[Span]] = None,
 ) -> None:
     """Write a Perfetto-loadable trace file."""
     with open(path, "w") as handle:
-        handle.write(chrome_trace_json(trace, clock_hz=clock_hz, horizon=horizon))
+        handle.write(chrome_trace_json(trace, clock_hz=clock_hz, horizon=horizon,
+                                       spans=spans))
         handle.write("\n")

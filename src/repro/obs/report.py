@@ -108,6 +108,15 @@ class RunReport:
                 "retained": len(retained),
                 "by_kind": dict(sorted(by_kind.items())),
             }
+            # Sink-specific loss/volume accounting, surfaced only when
+            # the sink keeps it: ring-buffer overflow (events emitted
+            # but pushed out of the retained window) and streamed bytes.
+            dropped = getattr(trace.sink, "dropped", None)
+            if dropped is not None:
+                trace_summary["dropped"] = dropped
+            bytes_written = getattr(trace.sink, "bytes_written", None)
+            if bytes_written is not None:
+                trace_summary["bytes_written"] = bytes_written
         kernel = dict(kernel_stats or {})
         return cls(
             label=label,
@@ -163,6 +172,11 @@ class RunReport:
                     value = str(series["value"])
                 lines.append(f"  {name}{label_text}: {value}")
         if self.trace:
+            extras = ""
+            if self.trace.get("dropped"):
+                extras += f", {self.trace['dropped']} dropped"
+            if self.trace.get("bytes_written") is not None:
+                extras += f", {self.trace['bytes_written']} byte(s) streamed"
             lines.append(f"  trace  : {self.trace['emitted']} events emitted, "
-                         f"{self.trace['retained']} retained")
+                         f"{self.trace['retained']} retained{extras}")
         return "\n".join(lines)

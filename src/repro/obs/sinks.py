@@ -93,14 +93,19 @@ class JsonlFileSink(TraceSink):
     def __init__(self, path: Union[str, os.PathLike]):
         super().__init__()
         self.path = os.fspath(path)
+        #: Bytes written so far (events + newlines) -- lets RunReport
+        #: surface the stream's size without a stat call on a handle
+        #: that may still be buffered.
+        self.bytes_written = 0
         self._handle: Optional[IO[str]] = open(self.path, "w")
 
     def emit(self, event: TraceEvent) -> None:
         if self._handle is None:
             raise RuntimeError(f"sink for {self.path} is closed")
         self.emitted += 1
-        json.dump(event_to_dict(event), self._handle, separators=(",", ":"))
-        self._handle.write("\n")
+        line = json.dumps(event_to_dict(event), separators=(",", ":")) + "\n"
+        self._handle.write(line)
+        self.bytes_written += len(line)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -3,7 +3,7 @@
 Three modes, mirroring ``repro-lint``::
 
     repro-perf bench [--out BENCH_perf.json] [--workers N] [--quick]
-                     [--engine-only] [--tlm]
+                     [--engine-only] [--tlm] [--ledger FILE] [--no-ledger]
     repro-perf calibrate-tlm [--scale N] [--json]
     repro-perf cache [--gc] [--max-mb MB] [--max-entries N] [--dir PATH]
     repro-perf --self-check
@@ -13,7 +13,10 @@ cold-vs-warm cache and writes ``BENCH_perf.json`` (see docs/PERF.md
 for how to read it); ``--engine-only`` runs just the event-core
 micro-benchmark in seconds and writes nothing by default, and
 ``--tlm`` runs just the fidelity-ladder section (TLM vs prototype on
-the Figure 4 anchor cells).  ``calibrate-tlm`` refits the TLM
+the Figure 4 anchor cells).  Full ``bench`` runs append a summary
+entry to the persistent run ledger (``.repro/ledger.jsonl`` or
+``$REPRO_LEDGER``; compare runs with ``repro-obs diff``) -- suppress
+with ``--no-ledger``.  ``calibrate-tlm`` refits the TLM
 per-transaction cost table against fresh prototype runs and prints the
 fitted parameters plus the residual (the accuracy bound the TLM tests
 enforce).  ``cache`` reports on-disk run-cache usage and, with
@@ -323,7 +326,25 @@ def self_check(out=None) -> int:
 
 
 # ----------------------------------------------------------------------- main
+def _bench_ledger_results(results: dict) -> dict:
+    """The diffable scalars a bench run leaves in the ledger."""
+    out: dict = {}
+    if "engine" in results:
+        out["engine_events_per_s"] = results["engine"]["events_per_s"]
+    if "figure4" in results:
+        out["figure4_speedup"] = results["figure4"]["speedup"]
+        out["figure4_serial_s"] = results["figure4"]["serial_s"]
+    if "cache" in results:
+        out["cache_warm_speedup"] = results["cache"]["warm_speedup"]
+    if "tlm" in results:
+        out["tlm_min_speedup"] = results["tlm"]["min_speedup"]
+        out["tlm_max_wcrt_deviation"] = results["tlm"]["max_wcrt_deviation"]
+    return {key: value for key, value in out.items() if value is not None}
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
     from repro.perf.bench import BENCH_FILE, format_results, run_benchmarks
 
     out = args.out
@@ -332,12 +353,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # so the section-only modes write nothing unless --out is
         # explicit.
         out = "" if (args.engine_only or args.tlm) else BENCH_FILE
+    started = time.perf_counter()
     results = run_benchmarks(out=out, workers=args.workers or None,
                              quick=args.quick, engine_only=args.engine_only,
                              tlm_only=args.tlm)
+    wall_time_s = time.perf_counter() - started
     print(format_results(results))
     if out:
         print(f"benchmark results written to {out}", file=sys.stderr)
+    # Full runs land in the persistent run ledger so BENCH_perf.json
+    # snapshots accumulate a diffable trajectory (repro-obs history /
+    # diff).  Section-only modes are partial by design and skipped.
+    if not (args.engine_only or args.tlm or args.no_ledger):
+        from repro.obs.ledger import Ledger, LedgerEntry
+        from repro.perf.cache import fingerprint
+
+        ledger = Ledger(args.ledger or None)
+        cache_section = results.get("cache")
+        ledger.append(LedgerEntry(
+            kind="bench",
+            label=out or BENCH_FILE,
+            config_hash=fingerprint({"quick": args.quick,
+                                     "workers": args.workers or None}),
+            wall_time_s=round(wall_time_s, 3),
+            cells=results.get("figure4", {}).get("cells", 0),
+            cache=(
+                {"hits": cache_section["hits"],
+                 "misses": cache_section["misses"],
+                 "hit_rate": cache_section["hit_rate"]}
+                if cache_section else None
+            ),
+            results=_bench_ledger_results(results),
+        ))
+        print(f"ledger: appended bench entry to {ledger.path}",
+              file=sys.stderr)
     if args.tlm:
         ok = results["tlm"]["accurate"]
         if not ok:
@@ -431,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only the fidelity-ladder section (TLM vs "
                        "prototype on the Figure 4 anchor cells; writes "
                        "nothing unless --out is given)")
+    bench.add_argument("--ledger", default=None, metavar="FILE",
+                       help="run-ledger file for the appended bench entry "
+                       "(default: $REPRO_LEDGER or .repro/ledger.jsonl)")
+    bench.add_argument("--no-ledger", action="store_true",
+                       help="do not append this run to the run ledger")
     bench.set_defaults(func=_cmd_bench)
 
     calibrate = commands.add_parser(

@@ -18,6 +18,16 @@ Fallback rules (all silent, all order-preserving):
 
 The optional ``stats`` dict reports which path ran, for the timing
 harness and the equivalence tests.
+
+Cross-process observability rides the same chunks: pass a
+:class:`Telemetry` and every worker records into its own fresh
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.spans.SpanRecorder` (reachable from instrumented
+code via :func:`current_telemetry`), ships the snapshots home with the
+chunk result, and the parent folds them back **in chunk order** --
+so a merged parallel run's metrics equal the serial run's bit for bit
+(see ``repro-obs --self-check``).  With no telemetry the only cost is
+a ``None`` default argument.
 """
 
 from __future__ import annotations
@@ -26,10 +36,61 @@ import math
 import os
 import pickle
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class Telemetry:
+    """One run's collection context: a metrics registry + span recorder.
+
+    The parent process owns one; workers build their own throwaway
+    instance per chunk and the parent merges the pieces back.  Both
+    sides reach the active instance through :func:`current_telemetry`,
+    which is ``None`` on every uninstrumented path.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanRecorder] = None,
+        worker: str = "main",
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanRecorder(process=worker)
+        self.worker = worker
+
+
+#: The telemetry installed for the currently running (serial slice or
+#: worker chunk) of a collected ``pmap``; ``None`` everywhere else.
+_ACTIVE: Optional[Telemetry] = None
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The in-scope :class:`Telemetry`, or ``None`` when not collecting."""
+    return _ACTIVE
+
+
+class _installed:
+    """Context manager swapping the active telemetry in and out."""
+
+    def __init__(self, telemetry: Optional[Telemetry]):
+        self._telemetry = telemetry
+        self._previous: Optional[Telemetry] = None
+
+    def __enter__(self):
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._telemetry
+        return self._telemetry
+
+    def __exit__(self, *exc):
+        global _ACTIVE
+        _ACTIVE = self._previous
 
 
 def default_workers() -> int:
@@ -58,18 +119,33 @@ def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_collected(
+    fn: Callable[[T], R], chunk: Sequence[T]
+) -> Tuple[List[R], MetricsRegistry, List[Dict[str, Any]], str]:
+    """Worker-side body with telemetry: run the chunk under a fresh
+    registry/recorder and return their contents with the results."""
+    label = f"worker-{os.getpid()}"
+    telemetry = Telemetry(worker=label)
+    with _installed(telemetry):
+        results = [fn(item) for item in chunk]
+    return results, telemetry.metrics, telemetry.spans.to_rows(), label
+
+
 def pmap(
     fn: Callable[[T], R],
     items: Iterable[T],
     max_workers: Optional[int] = 1,
     chunksize: Optional[int] = None,
     stats: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     Results always come back in input order regardless of which worker
     finished first, so callers can rely on parallel output being
-    identical to serial output.
+    identical to serial output.  With ``telemetry``, worker-recorded
+    metrics and spans come back too, merged in chunk order (see the
+    module docstring).
     """
     items = list(items)
     workers = default_workers() if not max_workers else int(max_workers)
@@ -78,7 +154,8 @@ def pmap(
     def serial(mode: str) -> List[R]:
         if stats is not None:
             stats.update(mode=mode, workers=1, chunks=len(items))
-        return [fn(item) for item in items]
+        with _installed(telemetry if telemetry is not None else _ACTIVE):
+            return [fn(item) for item in items]
 
     if workers <= 1:
         return serial("serial")
@@ -90,9 +167,10 @@ def pmap(
         chunksize = max(1, math.ceil(len(items) / (workers * 4)))
     chunks = [[items[i] for i in index_range]
               for index_range in chunk_indices(len(items), chunksize)]
-    results: List[Optional[List[R]]] = [None] * len(chunks)
+    body = _run_chunk_collected if telemetry is not None else _run_chunk
+    results: List[Optional[Any]] = [None] * len(chunks)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(_run_chunk, fn, chunk): position
+        futures = {pool.submit(body, fn, chunk): position
                    for position, chunk in enumerate(chunks)}
         wait(futures, return_when=FIRST_EXCEPTION)
         for future, position in futures.items():
@@ -100,6 +178,14 @@ def pmap(
     if stats is not None:
         stats.update(mode="parallel", workers=workers, chunks=len(chunks))
     ordered: List[R] = []
-    for chunk_result in results:
-        ordered.extend(chunk_result)
+    if telemetry is not None:
+        # Fold worker telemetry home in chunk (= submission) order so
+        # the merged registry matches a serial run bit for bit.
+        for chunk_result, registry, span_rows, label in results:
+            ordered.extend(chunk_result)
+            telemetry.metrics.merge(registry)
+            telemetry.spans.graft(span_rows, process=label)
+    else:
+        for chunk_result in results:
+            ordered.extend(chunk_result)
     return ordered

@@ -219,3 +219,41 @@ class TestDeadlineMisses:
                                  kernel_stats=kernel.stats())
         assert report.deadline_misses == kernel.deadline_misses > 0
         assert "deadline_misses_total" in report.metrics
+
+
+class TestSinkLossAccounting:
+    """Satellite: ring-buffer drops and streamed bytes surface in reports."""
+
+    def test_ring_buffer_drops_reported(self):
+        from repro.obs.sinks import RingBufferSink
+
+        trace = TraceRecorder(sink=RingBufferSink(capacity=4))
+        for time in range(10):
+            trace.record(time, "tick", cpu=0)
+        report = RunReport.build(label="ring", registry=MetricsRegistry(),
+                                 trace=trace)
+        assert report.trace["emitted"] == 10
+        assert report.trace["retained"] == 4
+        assert report.trace["dropped"] == 6
+        assert "6 dropped" in report.summary()
+
+    def test_jsonl_sink_bytes_reported(self, tmp_path):
+        from repro.obs.sinks import JsonlFileSink
+
+        path = tmp_path / "trace.jsonl"
+        trace = TraceRecorder(sink=JsonlFileSink(path))
+        trace.record(0, "release", job="a#0")
+        trace.record(5, "dispatch", job="a#0", cpu=1)
+        trace.close()
+        report = RunReport.build(label="stream", registry=MetricsRegistry(),
+                                 trace=trace)
+        assert report.trace["bytes_written"] == path.stat().st_size > 0
+        assert f"{report.trace['bytes_written']} byte(s) streamed" in report.summary()
+
+    def test_list_sink_has_no_loss_fields(self):
+        trace = TraceRecorder()
+        trace.record(0, "tick", cpu=0)
+        report = RunReport.build(label="list", registry=MetricsRegistry(),
+                                 trace=trace)
+        assert "dropped" not in report.trace
+        assert "bytes_written" not in report.trace

@@ -1,0 +1,95 @@
+"""repro-verify: gate aggregation and exit-code semantics."""
+
+import pytest
+
+from repro import verify
+
+
+@pytest.fixture
+def gates(monkeypatch):
+    """Replace the real self-checks with fast fakes; record invocations."""
+    calls = []
+
+    def fake(name, code):
+        def runner(out=None):
+            calls.append(name)
+            return code
+        return runner
+
+    checks = {"lint": fake("lint", 0), "perf": fake("perf", 0),
+              "obs": fake("obs", 0), "faults": fake("faults", 0)}
+    monkeypatch.setattr(verify, "CHECKS", checks)
+    return calls, checks
+
+
+def test_all_gates_pass(gates, monkeypatch, capsys):
+    calls, _ = gates
+    monkeypatch.setattr(verify, "run_tier1", lambda **kw: 0)
+    assert verify.main([]) == 0
+    assert calls == ["lint", "perf", "obs", "faults"]
+    out = capsys.readouterr().out
+    assert "verify: PASS" in out and "tier1" in out
+
+
+def test_tier1_failure_fails_the_run(gates, monkeypatch, capsys):
+    monkeypatch.setattr(verify, "run_tier1", lambda **kw: 2)
+    assert verify.main([]) == 1
+    assert "verify: FAIL" in capsys.readouterr().out
+
+
+def test_any_self_check_failure_fails_the_run(gates, monkeypatch, capsys):
+    calls, checks = gates
+    checks["obs"] = lambda out=None: 1
+    monkeypatch.setattr(verify, "run_tier1", lambda **kw: 0)
+    assert verify.main([]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "obs" in out
+    # A failing gate must not stop the later ones from running.
+    assert "faults" in calls
+
+
+def test_skip_tier1_runs_only_self_checks(gates, monkeypatch):
+    calls, _ = gates
+    monkeypatch.setattr(verify, "run_tier1",
+                        lambda **kw: pytest.fail("tier1 must not run"))
+    assert verify.main(["--skip-tier1"]) == 0
+    assert calls == ["lint", "perf", "obs", "faults"]
+
+
+def test_only_selects_a_subset_and_skips_tier1(gates, monkeypatch):
+    calls, _ = gates
+    monkeypatch.setattr(verify, "run_tier1",
+                        lambda **kw: pytest.fail("tier1 must not run"))
+    assert verify.main(["--only", "perf", "obs"]) == 0
+    assert calls == ["perf", "obs"]
+
+
+def test_list_mode_runs_nothing(gates, capsys):
+    calls, _ = gates
+    assert verify.main(["--list"]) == 0
+    assert calls == []
+    out = capsys.readouterr().out
+    assert "tier1" in out and "faults" in out
+
+
+def test_unknown_check_rejected(gates):
+    with pytest.raises(SystemExit):
+        verify.main(["--only", "nope"])
+
+
+def test_run_tier1_builds_pythonpath(monkeypatch, tmp_path):
+    recorded = {}
+
+    class Completed:
+        returncode = 0
+
+    def fake_run(command, cwd=None, env=None):
+        recorded.update(command=command, cwd=cwd, env=env)
+        return Completed()
+
+    monkeypatch.setattr(verify.subprocess, "run", fake_run)
+    monkeypatch.delenv("PYTHONPATH", raising=False)
+    assert verify.run_tier1(pytest_args=["-x"], repo_root=str(tmp_path)) == 0
+    assert recorded["command"][-1] == "-x"
+    assert recorded["cwd"] == str(tmp_path)
+    assert recorded["env"]["PYTHONPATH"] == str(tmp_path / "src")
