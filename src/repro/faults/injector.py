@@ -69,7 +69,12 @@ class FaultInjector:
         elif kind == "timer_glitch":
             self.soc.timer.glitch(event.arg)
         elif kind == "bitflip_memory":
-            self.soc.ddr.flip_bit(event.addr, event.arg)
+            target = self.soc.ddr
+            if event.cpu is not None:
+                local = self.soc.cores[event.cpu].local_mem
+                if local.contains(event.addr):
+                    target = local
+            target.flip_bit(event.addr, event.arg)
         elif kind == "bitflip_register":
             core = self.soc.cores[event.cpu]
             core.register_upset()

@@ -16,7 +16,9 @@ kind                meaning (``arg`` / ``duration`` use)
 ``ipi_delay``       ... are deferred by ``arg`` cycles
 ``bus_stall``       the OPB is hogged for ``duration`` cycles
 ``timer_glitch``    the next ``arg`` timer ticks raise no interrupt
-``bitflip_memory``  one SEU: bit ``arg`` of DDR word ``addr`` flips
+``bitflip_memory``  one SEU: bit ``arg`` of word ``addr`` flips -- in
+                    cpu ``cpu``'s local BRAM when ``cpu`` is given and
+                    ``addr`` lies in it, otherwise in DDR
 ``bitflip_register``register upset on cpu ``cpu``; corrupts the running
                     task's output (crash fault) if one is running
 ``wcet_overrun``    task ``task``'s next segment runs ``arg`` extra cycles

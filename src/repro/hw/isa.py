@@ -14,6 +14,30 @@ program on a :class:`~repro.hw.microblaze.MicroBlaze`, paying
   cycle, misses refill a line from DDR over the arbitrated bus,
 - data access time by region: local BRAM 1 cycle, DDR over the bus.
 
+Two interpreters produce that timing model:
+
+- ``"block"`` (the default): a predecoded basic-block interpreter.
+  At load the program is decoded once into flat per-pc tuples (opcode
+  kind, bound ALU/branch callable, register indices, cache line
+  index/tag), so the hot loop chases no ``Instruction`` attributes and
+  hits no dispatch dict.  Execution then *temporally decouples* from
+  the event engine: core-private work (ALU ops, branches, not-taken
+  fall-through) runs in a tight Python loop that only accumulates a
+  cycle count, and a single coalesced ``advance(n)`` sleep is emitted
+  at the next *interaction point* -- a data access, an I-cache miss
+  refill, halt, or an execution fault.  Memory traffic, bus
+  arbitration and trace events still happen at their exact
+  per-instruction instants, so the observable schedule is bit-for-bit
+  identical to the reference.  Transient faults
+  (``WordStorage.flip_bit`` / ``MicroBlaze.register_upset``) landing
+  inside a coalesced sleep invalidate the in-flight block: the
+  executor rolls back to the block's entry checkpoint and replays it
+  per-instruction across the fault instant.
+- ``"reference"``: the original one-event-per-instruction loop,
+  retained as the oracle the perf tier's ISA determinism sentinel
+  replays every asmlib kernel against.  ``count_pcs=True`` forces this
+  mode (per-pc execution counts are inherently per-instruction).
+
 Used by the substrate unit tests, the MPIC/sync-engine integration
 tests and the bus-contention calibration microbenchmarks.
 """
@@ -25,9 +49,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.hw.memory import DDRMemory, LocalBRAM, MemoryError_, WordStorage
 from repro.hw.microblaze import MicroBlaze
+from repro.sim.events import PENDING
 
 #: Mask for 32-bit wrap-around arithmetic.
 MASK32 = 0xFFFFFFFF
+
+#: Interpreter implementations (see the module docstring).
+ISA_MODES = ("block", "reference")
 
 
 def _signed(value: int) -> int:
@@ -170,6 +198,98 @@ class CPUState:
             self.regs[reg] = value & MASK32
 
 
+# ----------------------------------------------------------------- predecode
+# Opcode kinds for the decoded form.  The numeric layout is load-bearing
+# for the block interpreter's dispatch: memory ops are >= _K_LW, loads
+# are <= _K_LWI among them, and immediate forms are odd.
+_K_ALU = 0
+_K_ALUI = 1
+_K_CBR = 2
+_K_BR = 3
+_K_BRL = 4
+_K_JR = 5
+_K_NOP = 6
+_K_HALT = 7
+_K_LW = 8
+_K_LWI = 9
+_K_SW = 10
+_K_SWI = 11
+
+#: Decoded instruction tuple field layout:
+#: ``(kind, payload, rd, ra, b, line_index, line_tag, fetch_addr)``
+#: where ``payload`` is the bound ALU callable / branch predicate,
+#: ``b`` is the rb index, masked immediate, raw memory offset or
+#: branch-target index depending on ``kind``, and the last three
+#: fields precompute the I-cache geometry for the fetch check.
+
+
+def _decode_program(program: Program, icache) -> list:
+    """Decode ``program`` into flat per-pc tuples for the block loop.
+
+    All opcode and register validation happens here, once, so neither
+    interpreter pays a per-instruction ``dispatch.get`` / range check;
+    unknown opcodes and out-of-range register fields raise
+    :class:`ISAError` naming the offending pc.  The decoded form
+    depends on the I-cache geometry (line index/tag precomputation),
+    so results are cached on the program keyed by that geometry.
+    """
+    key = (icache.line_bytes, icache.n_lines)
+    cache = program.__dict__.setdefault("_decoded_cache", {})
+    decoded = cache.get(key)
+    if decoded is not None:
+        return decoded
+    line_bytes = icache.line_bytes
+    n_lines = icache.n_lines
+    decoded = []
+    for index, instr in enumerate(program.instructions):
+        op = instr.op
+        for reg in (instr.rd, instr.ra, instr.rb):
+            if not 0 <= reg < 32:
+                raise ISAError(
+                    f"register r{reg} out of range at pc={index} ({op})"
+                )
+        if op in _ALU_FUNCS:
+            head = (_K_ALU, _ALU_FUNCS[op], instr.rd, instr.ra, instr.rb)
+        elif op.endswith("i") and op[:-1] in _ALU_FUNCS:
+            head = (_K_ALUI, _ALU_FUNCS[op[:-1]], instr.rd, instr.ra,
+                    instr.imm & MASK32)
+        elif op in _BRANCH_TESTS:
+            head = (_K_CBR, _BRANCH_TESTS[op], instr.rd, 0, instr.imm)
+        elif op == "lw":
+            head = (_K_LW, None, instr.rd, instr.ra, instr.rb)
+        elif op == "lwi":
+            head = (_K_LWI, None, instr.rd, instr.ra, instr.imm)
+        elif op == "sw":
+            head = (_K_SW, None, instr.rd, instr.ra, instr.rb)
+        elif op == "swi":
+            head = (_K_SWI, None, instr.rd, instr.ra, instr.imm)
+        elif op == "br":
+            head = (_K_BR, None, 0, 0, instr.imm)
+        elif op == "brl":
+            head = (_K_BRL, None, instr.rd, 0, instr.imm)
+        elif op == "jr":
+            head = (_K_JR, None, instr.rd, 0, 0)
+        elif op == "nop":
+            head = (_K_NOP, None, 0, 0, 0)
+        elif op == "halt":
+            head = (_K_HALT, None, 0, 0, 0)
+        else:
+            raise ISAError(f"unknown opcode {op!r} at pc={index}")
+        addr = program.base + 4 * index
+        line_addr = addr // line_bytes
+        decoded.append(head + (line_addr % n_lines, line_addr // n_lines, addr))
+    cache[key] = decoded
+    return decoded
+
+
+# Window-terminating interaction points for the block interpreter.
+_S_FILL = 1    # instruction fetch missed: refill a line over the bus
+_S_LOCAL = 2   # local BRAM data access
+_S_DDR = 3     # shared DDR data access (arbitrated bus transaction)
+_S_HALT = 4
+_S_ERROR = 5
+
+
 class ISAExecutor:
     """Runs a :class:`Program` on a core, cycle-accounted.
 
@@ -189,11 +309,25 @@ class ISAExecutor:
         When True, ``pc_counts`` maps each executed instruction index
         to its execution count, so static loop bounds
         (:mod:`repro.lint.absint`) can be cross-checked against actual
-        iteration counts.  Off by default to keep the hot loop lean.
+        iteration counts.  Forces ``mode="reference"`` (per-pc counts
+        are per-instruction accounting by definition).
+    mode:
+        ``"block"`` or ``"reference"`` (see the module docstring).
+        Defaults to the core's ``isa_mode``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; block-mode
+        runs record ``isa_windows_total`` / ``isa_window_instructions_total``
+        / ``isa_block_replays_total`` counters labelled by cpu.
     """
 
     def __init__(
-        self, core: MicroBlaze, program: Program, trace=None, count_pcs: bool = False
+        self,
+        core: MicroBlaze,
+        program: Program,
+        trace=None,
+        count_pcs: bool = False,
+        mode: Optional[str] = None,
+        metrics=None,
     ):
         self.core = core
         self.program = program
@@ -203,6 +337,22 @@ class ISAExecutor:
         self.icache_misses = 0
         self.data_accesses = 0
         self.pc_counts: Optional[Dict[int, int]] = {} if count_pcs else None
+        resolved = mode or getattr(core, "isa_mode", "block")
+        if resolved not in ISA_MODES:
+            raise ValueError(f"unknown isa_mode {resolved!r}")
+        if count_pcs:
+            resolved = "reference"
+        self.mode = resolved
+        self.metrics = metrics
+        # Decode (and validate) once for both interpreters.
+        self._decoded = _decode_program(program, core.icache)
+        # Block-interpreter observability: executed windows, the
+        # instructions they coalesced, and fault-invalidated replays.
+        self.windows = 0
+        self.window_instructions = 0
+        self.replays = 0
+        self._sleep = None
+        self._window_broken = False
         for addr, value in program.data.items():
             self._region_for(addr).write_word(addr, value)
 
@@ -255,11 +405,12 @@ class ISAExecutor:
         self.cycles += self.core.sim.now - start
 
     # ---------------------------------------------------------------- execution
-    # Opcode handlers.  Each returns the branch target (an instruction
-    # index) for a *taken* control transfer, or None to fall through to
-    # pc+1.  Memory handlers are generators and are flagged as such in
-    # the dispatch table so the main loop only pays generator setup for
-    # ops that actually touch the memory system.
+    # Opcode handlers (reference interpreter).  Each returns the branch
+    # target (an instruction index) for a *taken* control transfer, or
+    # None to fall through to pc+1.  Memory handlers are generators and
+    # are flagged as such in the dispatch table so the main loop only
+    # pays generator setup for ops that actually touch the memory
+    # system.
     def _exec_nop(self, state: CPUState, instr: Instruction, payload) -> Optional[int]:
         return None
 
@@ -311,6 +462,13 @@ class ISAExecutor:
 
         Returns the CPUState (also available as ``self.state``).
         """
+        if self.mode == "reference":
+            return (yield from self._run_reference(max_instructions))
+        return (yield from self._run_block(max_instructions))
+
+    # ------------------------------------------------------ reference oracle
+    def _run_reference(self, max_instructions: int):
+        """The per-instruction interpreter (one engine event per cycle)."""
         state = self.state
         program = self.program
         instructions = program.instructions
@@ -332,10 +490,8 @@ class ISAExecutor:
             self.cycles += 1
             state.instructions_retired += 1
 
-            entry = dispatch.get(instr.op)
-            if entry is None:  # pragma: no cover - decoder rejects unknown ops
-                raise ISAError(f"unknown opcode {instr.op}")
-            handler, is_generator, payload = entry
+            # Opcodes were validated at predecode: direct index.
+            handler, is_generator, payload = dispatch[instr.op]
             if is_generator:
                 target = yield from handler(self, state, instr, payload)
             else:
@@ -349,12 +505,345 @@ class ISAExecutor:
                 state.pc = target
         return state
 
-    @staticmethod
-    def _alu(op: str, a: int, b: int) -> int:
-        func = _ALU_FUNCS.get(op)
-        if func is None:
-            raise ISAError(f"unknown ALU op {op}")
-        return func(a, b)
+    # --------------------------------------------------- block interpreter
+    def _on_fault(self, *_fault) -> None:
+        """Fault listener: invalidate the in-flight coalesced block.
+
+        Registered on the core's memories (``flip_bit``) and register
+        file (``register_upset``) while a block run is live.  Waking
+        the sleep early makes the executor roll back to the block's
+        entry checkpoint and replay it per-instruction, so the fault
+        lands against reference-exact architectural state.
+        """
+        sleep = self._sleep
+        if sleep is not None and sleep._state == PENDING:
+            self._window_broken = True
+            sleep.succeed()
+
+    def _run_block(self, max_instructions: int):
+        """Basic-block interpreter: one coalesced sleep per window.
+
+        A *window* is the run of core-private instructions (ALU,
+        branches, nop) from one interaction point to the next.  The
+        inner loop executes a window against local register state,
+        accumulating its cycle cost in ``pending``; the single
+        ``advance(pending)`` sleep at the window boundary replaces the
+        reference interpreter's per-instruction timeouts.  Everything
+        another bus master or a trace consumer could observe -- DDR
+        transactions, I-cache refills, local-memory effects, halt, and
+        execution faults -- happens at the same absolute instant the
+        reference interpreter produces.
+        """
+        state = self.state
+        if state.halted:
+            return state
+        core = self.core
+        sim = core.sim
+        icache = core.icache
+        local_mem = core.local_mem
+        ddr = core.ddr
+        bus = core.bus
+        cpu_id = core.cpu_id
+        local_base = local_mem.base
+        local_top = local_mem.base + local_mem.size
+        local_latency = local_mem.access_latency(1)
+        ddr_base = ddr.base
+        ddr_top = ddr.base + ddr.size
+        decoded = self._decoded
+        n = len(decoded)
+        regs = state.regs
+        metrics = self.metrics
+        fuel = max_instructions - state.instructions_retired
+        filled_pc = -1
+        sleep = None
+        pc = state.pc
+        # Fault hooks: any flip/upset must invalidate the live window.
+        local_mem.add_fault_listener(self._on_fault)
+        ddr.add_fault_listener(self._on_fault)
+        core.add_upset_listener(self._on_fault)
+        try:
+            while True:
+                tags = icache._tags  # re-read per window: invalidate() rebinds
+                ck_pc = pc
+                ck_fuel = fuel
+                ck_skip = filled_pc
+                ck_regs = regs[:]
+                pending = 0
+                hits = 0
+                sync = 0
+                err: Optional[ISAError] = None
+                op: tuple = ()
+                addr = 0
+                # ---- the window: core-private ops, no engine events
+                while True:
+                    if fuel <= 0:
+                        err = ISAError(
+                            f"instruction budget {max_instructions} "
+                            f"exhausted at pc={pc}"
+                        )
+                        sync = _S_ERROR
+                        break
+                    if pc < 0 or pc >= n:
+                        err = ISAError(f"pc {pc} outside program")
+                        sync = _S_ERROR
+                        break
+                    op = decoded[pc]
+                    if pc == filled_pc:
+                        filled_pc = -1  # the refill covers this fetch
+                    elif tags[op[5]] == op[6]:
+                        hits += 1
+                    else:
+                        sync = _S_FILL
+                        break
+                    fuel -= 1
+                    kind = op[0]
+                    if kind == 1:  # alui
+                        pending += 1
+                        rd = op[2]
+                        if rd:
+                            regs[rd] = op[1](regs[op[3]], op[4])
+                        pc += 1
+                    elif kind == 0:  # alu
+                        pending += 1
+                        rd = op[2]
+                        if rd:
+                            regs[rd] = op[1](regs[op[3]], regs[op[4]])
+                        pc += 1
+                    elif kind == 2:  # conditional branch
+                        v = regs[op[2]]
+                        if op[1](v - 0x1_0000_0000 if v & 0x8000_0000 else v):
+                            pending += 1 + BRANCH_PENALTY
+                            pc = op[4]
+                        else:
+                            pending += 1
+                            pc += 1
+                    elif kind >= 8:  # memory: interaction point
+                        pending += 1
+                        offset = op[4] if kind & 1 else regs[op[4]]
+                        addr = (regs[op[3]] + offset) & MASK32
+                        if local_base <= addr < local_top:
+                            pending += local_latency
+                            sync = _S_LOCAL
+                        elif ddr_base <= addr < ddr_top:
+                            sync = _S_DDR
+                        else:
+                            err = ISAError(
+                                f"address {addr:#x} maps to no memory region"
+                            )
+                            sync = _S_ERROR
+                        break
+                    elif kind == 6:  # nop
+                        pending += 1
+                        pc += 1
+                    elif kind == 7:  # halt
+                        pending += 1
+                        sync = _S_HALT
+                        break
+                    elif kind == 3:  # br
+                        pending += 1 + BRANCH_PENALTY
+                        pc = op[4]
+                    elif kind == 4:  # brl
+                        pending += 1 + BRANCH_PENALTY
+                        rd = op[2]
+                        if rd:
+                            regs[rd] = pc + 1
+                        pc = op[4]
+                    else:  # kind == 5: jr
+                        pending += 1 + BRANCH_PENALTY
+                        pc = regs[op[2]]
+
+                # ---- window boundary: bulk-apply counters, one sleep
+                state.pc = pc
+                state.instructions_retired = max_instructions - fuel
+                self.windows += 1
+                self.window_instructions += ck_fuel - fuel
+                self.cycles += pending
+                icache.hits += hits
+                if pending:
+                    flush_start = sim.now
+                    sleep = sim.advance(pending, sleep)
+                    self._sleep = sleep
+                    yield sleep
+                    self._sleep = None
+                    if self._window_broken:
+                        # A fault landed inside the coalesced sleep.
+                        # The early-woken sleep leaves a stale queue
+                        # entry behind; never re-arm it.
+                        self._window_broken = False
+                        sleep = None
+                        self.replays += 1
+                        regs[:] = ck_regs
+                        self.cycles -= pending
+                        icache.hits -= hits
+                        state.pc = ck_pc
+                        state.instructions_retired = max_instructions - ck_fuel
+                        state.halted = False
+                        yield from self._replay(
+                            ck_pc, ck_skip, sim.now - flush_start, pending
+                        )
+                        if (state.pc != pc
+                                or state.instructions_retired
+                                != max_instructions - fuel):  # pragma: no cover
+                            raise ISAError("block replay diverged from window")
+
+                # ---- the interaction point, at its exact instant
+                if sync == _S_LOCAL:
+                    self.data_accesses += 1
+                    if op[0] <= 9:  # load
+                        value = local_mem.read_word(addr)
+                        rd = op[2]
+                        if rd:
+                            regs[rd] = value
+                    else:
+                        local_mem.write_word(addr, regs[op[2]])
+                    pc += 1
+                    state.pc = pc
+                elif sync == _S_DDR:
+                    self.data_accesses += 1
+                    start = sim.now
+                    yield from bus.transfer(cpu_id, ddr, words=1)
+                    self.cycles += sim.now - start
+                    load = op[0] <= 9
+                    if self.trace is not None:
+                        self.trace.record(
+                            sim.now,
+                            "access",
+                            cpu=cpu_id,
+                            info=f"addr={addr:#x} "
+                                 f"op={'read' if load else 'write'}",
+                        )
+                    if load:
+                        value = ddr.read_word(addr)
+                        rd = op[2]
+                        if rd:
+                            regs[rd] = value
+                    else:
+                        ddr.write_word(addr, regs[op[2]])
+                    pc += 1
+                    state.pc = pc
+                elif sync == _S_FILL:
+                    icache.misses += 1
+                    self.icache_misses += 1
+                    start = sim.now
+                    yield from bus.transfer(cpu_id, ddr,
+                                            words=icache.line_words)
+                    icache.fill_line(op[7])
+                    self.cycles += sim.now - start
+                    filled_pc = pc
+                elif sync == _S_HALT:
+                    pc += 1
+                    state.pc = pc
+                    state.halted = True
+                    if metrics is not None:
+                        self._record_metrics(metrics)
+                    return state
+                else:  # _S_ERROR
+                    if metrics is not None:
+                        self._record_metrics(metrics)
+                    raise err
+        finally:
+            self._sleep = None
+            local_mem.remove_fault_listener(self._on_fault)
+            ddr.remove_fault_listener(self._on_fault)
+            core.remove_upset_listener(self._on_fault)
+
+    def _replay(self, pc: int, skip: int, credit: int, pending: int):
+        """Re-run a rolled-back window per-instruction across a fault.
+
+        ``credit`` cycles of the window's coalesced sleep had already
+        elapsed when the fault broke it, so the instants the reference
+        interpreter has already passed apply instantly and the
+        remainder sleeps at per-instruction granularity.  Windows carry
+        no memory traffic, so the replay re-traces the identical path
+        from the checkpointed registers; the terminal interaction
+        point's cost is slept here but its *effect* stays with the
+        caller (at the exact boundary instant, after the fault).
+        """
+        state = self.state
+        regs = state.regs
+        decoded = self._decoded
+        icache = self.core.icache
+        timeout = self.core.sim.timeout
+        local_mem = self.core.local_mem
+        local_base = local_mem.base
+        local_top = local_mem.base + local_mem.size
+        local_latency = local_mem.access_latency(1)
+        done = 0
+        first = True
+        while done < pending:
+            op = decoded[pc]
+            kind = op[0]
+            if not (first and pc == skip):
+                icache.hits += 1
+            first = False
+            taken = False
+            if kind == 2:
+                v = regs[op[2]]
+                taken = op[1](v - 0x1_0000_0000 if v & 0x8000_0000 else v)
+                cost = 1 + BRANCH_PENALTY if taken else 1
+            elif kind >= 8:
+                offset = op[4] if kind & 1 else regs[op[4]]
+                addr = (regs[op[3]] + offset) & MASK32
+                cost = 1
+                if local_base <= addr < local_top:
+                    cost += local_latency
+            elif kind in (3, 4, 5):
+                cost = 1 + BRANCH_PENALTY
+            else:
+                cost = 1
+            if credit >= cost:
+                credit -= cost
+            else:
+                yield timeout(cost - credit)
+                credit = 0
+            done += cost
+            self.cycles += cost
+            state.instructions_retired += 1
+            if kind == 1:
+                rd = op[2]
+                if rd:
+                    regs[rd] = op[1](regs[op[3]], op[4])
+                pc += 1
+            elif kind == 0:
+                rd = op[2]
+                if rd:
+                    regs[rd] = op[1](regs[op[3]], regs[op[4]])
+                pc += 1
+            elif kind == 2:
+                pc = op[4] if taken else pc + 1
+            elif kind == 3:
+                pc = op[4]
+            elif kind == 4:
+                rd = op[2]
+                if rd:
+                    regs[rd] = pc + 1
+                pc = op[4]
+            elif kind == 5:
+                pc = regs[op[2]]
+            elif kind == 6:
+                pc += 1
+            # halt (7) and memory (>= 8): cost slept above, effect and
+            # pc advance handled by the caller at the boundary instant.
+            state.pc = pc
+
+    def _record_metrics(self, metrics) -> None:
+        """Flush block counters into an obs metrics registry."""
+        labels = {"cpu": self.core.cpu_id}
+        metrics.counter(
+            "isa_windows_total",
+            help="coalesced basic-block windows executed",
+            labels=labels,
+        ).inc(self.windows)
+        metrics.counter(
+            "isa_window_instructions_total",
+            help="instructions retired inside coalesced windows",
+            labels=labels,
+        ).inc(self.window_instructions)
+        metrics.counter(
+            "isa_block_replays_total",
+            help="windows invalidated by faults and replayed",
+            labels=labels,
+        ).inc(self.replays)
 
 
 def _build_dispatch() -> Dict[str, Tuple]:

@@ -30,6 +30,19 @@ class WordStorage:
         self.name = name
         self._words: Dict[int, int] = {}
         self.bitflips = 0
+        # Fault observers: called (addr, bit) *before* a flip_bit
+        # mutation lands, so temporally decoupled executors can
+        # invalidate work speculated past the fault instant.
+        self._fault_listeners: list = []
+
+    def add_fault_listener(self, listener) -> None:
+        """Register ``listener(addr, bit)``, called before each flip."""
+        self._fault_listeners.append(listener)
+
+    def remove_fault_listener(self, listener) -> None:
+        """Detach a listener registered with :meth:`add_fault_listener`."""
+        if listener in self._fault_listeners:
+            self._fault_listeners.remove(listener)
 
     def contains(self, addr: int) -> bool:
         return self.base <= addr < self.base + self.size
@@ -67,6 +80,8 @@ class WordStorage:
         """
         if not 0 <= bit < 32:
             raise ValueError("bit must be in [0, 32)")
+        for listener in list(self._fault_listeners):
+            listener(addr, bit)
         value = self.read_word(addr) ^ (1 << bit)
         self._words[self._index(addr)] = value
         self.bitflips += 1

@@ -98,9 +98,12 @@ class MicroBlaze:
         local_mem: Optional[LocalBRAM] = None,
         icache: Optional[DirectMappedICache] = None,
         chunk_cycles: int = 2_000,
+        isa_mode: str = "block",
     ):
         if chunk_cycles <= 0:
             raise ValueError("chunk_cycles must be positive")
+        if isa_mode not in ("block", "reference"):
+            raise ValueError(f"unknown isa_mode {isa_mode!r}")
         self.sim = sim
         self.cpu_id = cpu_id
         self.bus = bus
@@ -108,6 +111,11 @@ class MicroBlaze:
         self.local_mem = local_mem or LocalBRAM(cpu_id)
         self.icache = icache or DirectMappedICache(cpu_id)
         self.chunk_cycles = chunk_cycles
+        #: Interpreter used by :class:`~repro.hw.isa.ISAExecutor` for
+        #: programs on this core: ``"block"`` (predecoded basic-block,
+        #: coalesced engine events) or ``"reference"`` (one event per
+        #: instruction, the sentinel oracle).
+        self.isa_mode = isa_mode
         #: Optional callable returning the absolute cycle of the next
         #: known preemption point (the SoC wires it to the system
         #: timer's ``next_tick``).  When set, :meth:`execute` expands
@@ -131,6 +139,19 @@ class MicroBlaze:
         self.stall_cycles = 0
         self._access_residue = 0.0
         self.register_upsets = 0
+        # Fault observers: notified after each register upset so a
+        # temporally decoupled ISA interpreter can invalidate the
+        # basic-block window the upset landed inside.
+        self._upset_listeners: List[Callable[[], None]] = []
+
+    def add_upset_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callable invoked on every :meth:`register_upset`."""
+        self._upset_listeners.append(listener)
+
+    def remove_upset_listener(self, listener: Callable[[], None]) -> None:
+        """Detach a listener registered with :meth:`add_upset_listener`."""
+        if listener in self._upset_listeners:
+            self._upset_listeners.remove(listener)
 
     def register_upset(self) -> int:
         """Transient-fault surface: record a register-file bit-flip.
@@ -143,6 +164,8 @@ class MicroBlaze:
         Returns the running total.
         """
         self.register_upsets += 1
+        for listener in list(self._upset_listeners):
+            listener()
         return self.register_upsets
 
     # -------------------------------------------------------------- interrupts

@@ -49,12 +49,20 @@ class SoCConfig:
     #: instead of stepping in fixed ``chunk_cycles`` strides.  Set
     #: False to reproduce the fixed-stride bus-interleaving granularity.
     adaptive_chunking: bool = True
+    #: ISA interpreter for ``run_program``-style execution on the
+    #: cores: ``"block"`` (predecoded basic-block interpreter with
+    #: coalesced engine events, the default) or ``"reference"`` (one
+    #: event per instruction; the oracle the perf tier's ISA
+    #: determinism sentinel compares against).
+    isa_mode: str = "block"
 
     def __post_init__(self):
         if self.n_cpus < 1:
             raise ValueError("n_cpus must be >= 1")
         if self.tick_cycles <= 0:
             raise ValueError("tick_cycles must be positive")
+        if self.isa_mode not in ("block", "reference"):
+            raise ValueError(f"unknown isa_mode {self.isa_mode!r}")
 
 
 class SoC:
@@ -90,6 +98,7 @@ class SoC:
                     line_words=config.icache_line_words,
                 ),
                 chunk_cycles=config.chunk_cycles,
+                isa_mode=config.isa_mode,
             )
             self.intc.connect_cpu(cpu, core.on_interrupt_line)
             core.add_enable_listener(

@@ -11,7 +11,11 @@ and say so.  Three sections:
 - ``figure4``: the same Figure 4 cells run serially and with a worker
   pool, with the speedup and a bit-for-bit equality check;
 - ``cache``: a cold sweep populating a fresh run cache, then the warm
-  re-run, with hit statistics and the warm speedup.
+  re-run, with hit statistics and the warm speedup;
+- ``isa``: the predecoded basic-block ISA interpreter vs the
+  per-instruction reference on the asmlib kernels, with the
+  events-per-retired-instruction counts the coalescing is supposed to
+  collapse (see :mod:`repro.perf.isabench`).
 
 All sections use deterministic workloads, so two runs on the same
 host differ only by timing noise.
@@ -222,6 +226,7 @@ def run_benchmarks(
     quick: bool = False,
     engine_only: bool = False,
     tlm_only: bool = False,
+    isa_only: bool = False,
 ) -> Dict[str, Any]:
     """Run every section and (optionally) write ``BENCH_perf.json``.
 
@@ -229,10 +234,13 @@ def run_benchmarks(
     (seconds instead of minutes) -- the mode the engine regression
     gate in ``benchmarks/test_bench_engine.py`` and quick development
     loops use.  ``tlm_only`` runs just the fidelity-ladder section
-    (TLM vs prototype on the anchor cells).  Partial results should
+    (TLM vs prototype on the anchor cells); ``isa_only`` just the
+    block-vs-reference interpreter section.  Partial results should
     not be written over a full ``BENCH_perf.json`` (the CLI defaults
     to not writing in those modes).
     """
+    from repro.perf.isabench import bench_isa
+
     utilizations = (0.40, 0.50) if quick else (0.40, 0.50, 0.60)
     results: Dict[str, Any] = {
         "version": __version__,
@@ -244,6 +252,8 @@ def run_benchmarks(
     }
     if tlm_only:
         results["tlm"] = bench_tlm(repeats=1 if quick else 3)
+    elif isa_only:
+        results["isa"] = bench_isa(repeats=1 if quick else 3, quick=quick)
     else:
         results["engine"] = bench_engine(n_processes=100 if quick else 300)
         if not engine_only:
@@ -251,9 +261,23 @@ def run_benchmarks(
                                                utilizations=utilizations)
             results["cache"] = bench_cache(utilizations=utilizations[:2])
             results["tlm"] = bench_tlm(repeats=1 if quick else 3)
+            results["isa"] = bench_isa(repeats=1 if quick else 3, quick=quick)
     if out:
+        payload = results
+        if isa_only or tlm_only or engine_only:
+            # Section-only regeneration: merge into an existing full
+            # file instead of clobbering the other committed sections.
+            try:
+                with open(out) as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = results
+            else:
+                for section in ("engine", "figure4", "cache", "tlm", "isa"):
+                    if section in results:
+                        payload[section] = results[section]
         with open(out, "w") as handle:
-            json.dump(results, handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
     return results
 
@@ -295,5 +319,16 @@ def format_results(results: Dict[str, Any]) -> str:
             f"wcrt dev {tlm['max_wcrt_deviation']:.1%} <= "
             f"{tlm['residual_bound']:.1%}, "
             f"verdicts_match={tlm['verdicts_match']})"
+        )
+    if "isa" in results:
+        isa = results["isa"]
+        per_kernel = "  ".join(
+            f"{row['kernel']} {row['speedup']}x" for row in isa["kernels"]
+        )
+        lines.append(
+            f"isa    : {per_kernel}  (aggregate {isa['speedup']}x, "
+            f"events/instr {isa['events_per_instr_reference']} -> "
+            f"{isa['events_per_instr_block']}, "
+            f"identical={isa['identical']})"
         )
     return "\n".join(lines)

@@ -3,7 +3,8 @@
 Three modes, mirroring ``repro-lint``::
 
     repro-perf bench [--out BENCH_perf.json] [--workers N] [--quick]
-                     [--engine-only] [--tlm] [--ledger FILE] [--no-ledger]
+                     [--engine-only] [--tlm] [--isa-only]
+                     [--ledger FILE] [--no-ledger]
     repro-perf calibrate-tlm [--scale N] [--json]
     repro-perf cache [--gc] [--max-mb MB] [--max-entries N] [--dir PATH]
     repro-perf --self-check
@@ -11,9 +12,11 @@ Three modes, mirroring ``repro-lint``::
 ``bench`` times representative experiment cells serial-vs-parallel and
 cold-vs-warm cache and writes ``BENCH_perf.json`` (see docs/PERF.md
 for how to read it); ``--engine-only`` runs just the event-core
-micro-benchmark in seconds and writes nothing by default, and
-``--tlm`` runs just the fidelity-ladder section (TLM vs prototype on
-the Figure 4 anchor cells).  Full ``bench`` runs append a summary
+micro-benchmark in seconds and writes nothing by default, ``--tlm``
+runs just the fidelity-ladder section (TLM vs prototype on the Figure
+4 anchor cells), and ``--isa-only`` just the ISA interpreter section
+(predecoded block mode vs per-instruction reference on the asmlib
+kernels).  Full ``bench`` runs append a summary
 entry to the persistent run ledger (``.repro/ledger.jsonl`` or
 ``$REPRO_LEDGER``; compare runs with ``repro-obs diff``) -- suppress
 with ``--no-ledger``.  ``calibrate-tlm`` refits the TLM
@@ -317,6 +320,79 @@ def self_check(out=None) -> int:
     check("ISA dispatch cycle-deterministic",
           cycles == cycles2 and cycles > 0, f"cycles={cycles}")
 
+    # -- ISA determinism sentinel: the predecoded basic-block
+    #    interpreter must be observably indistinguishable from the
+    #    per-instruction reference on every asmlib kernel -- cycles,
+    #    CPUState, trace events and bus-transaction instants -- with
+    #    tracing enabled, under a fault plan (which invalidates and
+    #    replays in-flight blocks), and in pc-count accounting.
+    from repro.faults.plan import FaultEvent, FaultPlan
+    from repro.hw.asmlib import ROUTINES
+    from repro.perf.isabench import observable, run_kernel
+
+    sentinel_iters = {"memcpy_words": 4, "array_sum": 4, "popcount32": 20,
+                      "crc32_word": 6, "isqrt32": 6}
+    mismatches = []
+    windows_total = 0
+    for kernel in ROUTINES:
+        ref = run_kernel(kernel, "reference",
+                         iterations=sentinel_iters[kernel], trace=True)
+        blk = run_kernel(kernel, "block",
+                         iterations=sentinel_iters[kernel], trace=True)
+        windows_total += blk["windows"]
+        if observable(ref) != observable(blk):
+            mismatches.append(kernel)
+    check("ISA sentinel: block == reference on every asmlib kernel",
+          not mismatches and windows_total > 0,
+          f"{len(ROUTINES)} kernel(s), "
+          + (f"mismatch: {mismatches}" if mismatches
+             else f"{windows_total} window(s)"))
+
+    data_plan = FaultPlan(
+        seed=7,
+        events=[
+            # Flip a bit of the input array mid-run: every later
+            # array_sum call must read the corrupted word in both modes.
+            FaultEvent(kind="bitflip_memory", time=900,
+                       addr=0x4008_0010, arg=5),
+            FaultEvent(kind="bitflip_register", time=1_100, cpu=0),
+        ],
+    )
+    ref = run_kernel("array_sum", "reference", iterations=4, trace=True,
+                     plan=data_plan)
+    blk = run_kernel("array_sum", "block", iterations=4, trace=True,
+                     plan=data_plan)
+    check("ISA sentinel: faulted data-bound run identical",
+          observable(ref) == observable(blk),
+          f"replays={blk['replays']}")
+
+    window_plan = FaultPlan(
+        seed=8,
+        events=[
+            # crc32_word coalesces hundreds of ALU instructions per
+            # window, so these instants land inside in-flight sleeps:
+            # the block interpreter must flush, roll back and replay.
+            FaultEvent(kind="bitflip_register", time=900, cpu=0),
+            FaultEvent(kind="bitflip_memory", time=1_200,
+                       addr=0x4008_0000, arg=3),
+        ],
+    )
+    ref = run_kernel("crc32_word", "reference", iterations=6, trace=True,
+                     plan=window_plan)
+    blk = run_kernel("crc32_word", "block", iterations=6, trace=True,
+                     plan=window_plan)
+    check("ISA sentinel: mid-window faults invalidate and replay",
+          observable(ref) == observable(blk) and blk["replays"] > 0,
+          f"replays={blk['replays']}")
+
+    ref = run_kernel("popcount32", "reference", iterations=8, count_pcs=True)
+    blk = run_kernel("popcount32", "block", iterations=8, count_pcs=True)
+    check("ISA sentinel: count_pcs accounting identical",
+          observable(ref) == observable(blk)
+          and ref["pc_counts"] == blk["pc_counts"]
+          and sum(ref["pc_counts"].values()) == ref["retired"],
+          f"{len(ref['pc_counts'])} pc(s), {ref['retired']} retired")
+
     print(
         f"self-check: {'PASS' if not failures else 'FAIL'} "
         f"({len(failures)} failure(s))",
@@ -339,6 +415,12 @@ def _bench_ledger_results(results: dict) -> dict:
     if "tlm" in results:
         out["tlm_min_speedup"] = results["tlm"]["min_speedup"]
         out["tlm_max_wcrt_deviation"] = results["tlm"]["max_wcrt_deviation"]
+    if "isa" in results:
+        out["isa_speedup"] = results["isa"]["speedup"]
+        out["isa_events_per_instr_reference"] = (
+            results["isa"]["events_per_instr_reference"])
+        out["isa_events_per_instr_block"] = (
+            results["isa"]["events_per_instr_block"])
     return {key: value for key, value in out.items() if value is not None}
 
 
@@ -352,11 +434,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Partial results must not overwrite a full BENCH_perf.json,
         # so the section-only modes write nothing unless --out is
         # explicit.
-        out = "" if (args.engine_only or args.tlm) else BENCH_FILE
+        out = "" if (args.engine_only or args.tlm or args.isa_only) else BENCH_FILE
     started = time.perf_counter()
     results = run_benchmarks(out=out, workers=args.workers or None,
                              quick=args.quick, engine_only=args.engine_only,
-                             tlm_only=args.tlm)
+                             tlm_only=args.tlm, isa_only=args.isa_only)
     wall_time_s = time.perf_counter() - started
     print(format_results(results))
     if out:
@@ -364,7 +446,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # Full runs land in the persistent run ledger so BENCH_perf.json
     # snapshots accumulate a diffable trajectory (repro-obs history /
     # diff).  Section-only modes are partial by design and skipped.
-    if not (args.engine_only or args.tlm or args.no_ledger):
+    if not (args.engine_only or args.tlm or args.isa_only or args.no_ledger):
         from repro.obs.ledger import Ledger, LedgerEntry
         from repro.perf.cache import fingerprint
 
@@ -393,13 +475,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("FAIL: TLM rung drifted outside the calibrated accuracy "
                   "bound -- re-run repro-perf calibrate-tlm", file=sys.stderr)
         return 0 if ok else 1
+    if args.isa_only:
+        ok = results["isa"]["identical"]
+        if not ok:
+            print("FAIL: block-mode ISA run diverged from the reference "
+                  "interpreter on at least one kernel", file=sys.stderr)
+        return 0 if ok else 1
     if args.engine_only:
         return 0
     ok = (results["figure4"]["identical"] and results["cache"]["identical"]
-          and results["tlm"]["accurate"])
+          and results["tlm"]["accurate"] and results["isa"]["identical"])
     if not ok:
-        print("FAIL: parallel/cached results differ from serial, or the TLM "
-              "rung drifted outside its accuracy bound", file=sys.stderr)
+        print("FAIL: parallel/cached results differ from serial, the TLM "
+              "rung drifted outside its accuracy bound, or the block-mode "
+              "ISA interpreter diverged from the reference", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -480,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only the fidelity-ladder section (TLM vs "
                        "prototype on the Figure 4 anchor cells; writes "
                        "nothing unless --out is given)")
+    bench.add_argument("--isa-only", action="store_true",
+                       help="run only the ISA interpreter section (block vs "
+                       "reference on the asmlib kernels; writes nothing "
+                       "unless --out is given)")
     bench.add_argument("--ledger", default=None, metavar="FILE",
                        help="run-ledger file for the appended bench entry "
                        "(default: $REPRO_LEDGER or .repro/ledger.jsonl)")

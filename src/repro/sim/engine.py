@@ -113,6 +113,33 @@ class Simulator:
         """Create an event that fires ``delay`` cycles from now."""
         return Timeout(self, delay, value=value)
 
+    def advance(self, delay: int, sleeper: Optional[Timeout] = None) -> Timeout:
+        """Fast path for coalesced sleeps: a timeout that recycles its event.
+
+        The block-mode ISA interpreter (and any similar temporally
+        decoupled model) sleeps once per basic-block window, always from
+        the same process.  Passing the previous window's ``sleeper``
+        back in lets the consumed :class:`Timeout` object be re-armed in
+        place -- same queue entry shape, same tie ordering as a fresh
+        ``timeout(delay)``, minus the allocation.  A sleeper is only
+        reused when it was consumed normally (processed, no callbacks
+        left); anything else -- including an early-succeeded event whose
+        stale queue entry may still be in flight -- gets a fresh
+        Timeout, which is always safe.
+        """
+        delay = int(delay)
+        if delay < 0:
+            raise ValueError(f"negative advance delay: {delay}")
+        if (sleeper is not None and sleeper._state == PROCESSED
+                and not sleeper.callbacks):
+            sleeper._state = PENDING
+            sleeper._value = None
+            sleeper._ok = True
+            sleeper.delay = delay
+            self._push(self.now + delay, sleeper)
+            return sleeper
+        return Timeout(self, delay)
+
     def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
         """Spawn a cooperative process from a generator."""
         return Process(self, generator, name=name)

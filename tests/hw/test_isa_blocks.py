@@ -1,0 +1,216 @@
+"""Block vs reference ISA interpreter: observable equivalence sweep.
+
+The predecoded basic-block interpreter (``isa_mode="block"``) coalesces
+core-private instruction runs into single engine events; these tests
+pin it bit-for-bit to the per-instruction reference across every asmlib
+kernel and every accounting/configuration axis: tracing, pc counting,
+cold vs pre-warmed I-cache, and seeded fault plans whose mid-kernel
+bit-flips must invalidate and replay in-flight blocks.
+"""
+
+import pytest
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.hw.asmlib import ROUTINES
+from repro.hw.isa import ISAError, ISAExecutor, Program, Instruction
+from repro.hw.soc import SoC, SoCConfig
+from repro.perf.isabench import observable, run_kernel
+
+KERNELS = sorted(ROUTINES)
+
+#: Small call counts: the sweep runs every kernel ~10 ways.
+ITERS = {"memcpy_words": 3, "array_sum": 3, "popcount32": 12,
+         "crc32_word": 4, "isqrt32": 4}
+
+
+def _fault_plan():
+    # One memory flip into the shared input array plus one register
+    # upset, timed to land mid-run for every kernel in the sweep.
+    return FaultPlan(
+        seed=11,
+        events=[
+            FaultEvent(kind="bitflip_memory", time=500,
+                       addr=0x4008_0008, arg=7),
+            FaultEvent(kind="bitflip_register", time=800, cpu=0),
+        ],
+    )
+
+
+VARIANTS = {
+    "base": {},
+    "trace": {"trace": True},
+    "count_pcs": {"count_pcs": True},
+    "warm_icache": {"warm_icache": True},
+    "faulted": {"trace": True, "plan": _fault_plan},
+}
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_block_matches_reference(kernel, variant):
+    kwargs = dict(VARIANTS[variant])
+    if "plan" in kwargs:
+        kwargs["plan"] = kwargs["plan"]()
+    ref = run_kernel(kernel, "reference", iterations=ITERS[kernel], **kwargs)
+    blk = run_kernel(kernel, "block", iterations=ITERS[kernel], **kwargs)
+    assert observable(ref) == observable(blk)
+    assert ref["halted"] and blk["halted"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pc_counts_identical(kernel):
+    """Per-pc execution counts agree and total to the retired count."""
+    ref = run_kernel(kernel, "reference", iterations=ITERS[kernel],
+                     count_pcs=True)
+    blk = run_kernel(kernel, "block", iterations=ITERS[kernel],
+                     count_pcs=True)
+    assert ref["pc_counts"] == blk["pc_counts"]
+    assert sum(ref["pc_counts"].values()) == ref["retired"]
+    assert sum(blk["pc_counts"].values()) == blk["retired"]
+
+
+def test_faulted_compute_kernel_replays_blocks():
+    """A fault inside a long coalesced window forces a rollback+replay,
+    and the replayed run still matches the reference exactly."""
+    plan = FaultPlan(events=[
+        FaultEvent(kind="bitflip_register", time=700, cpu=0),
+    ])
+    ref = run_kernel("crc32_word", "reference", iterations=4, trace=True,
+                     plan=plan)
+    blk = run_kernel("crc32_word", "block", iterations=4, trace=True,
+                     plan=plan)
+    assert observable(ref) == observable(blk)
+    assert blk["replays"] > 0
+
+
+def test_block_mode_run_twice_deterministic():
+    first = run_kernel("isqrt32", "block", iterations=3)
+    second = run_kernel("isqrt32", "block", iterations=3)
+    assert observable(first) == observable(second)
+
+
+# ----------------------------------------------------------- local BRAM faults
+LOCAL_PROGRAM = """
+    addi r5, r0, 0x100       # local BRAM scratch address
+    addi r6, r0, 200
+    addi r7, r0, 0
+loop:
+    swi  r6, r5, 0
+    lwi  r8, r5, 0
+    add  r7, r7, r8
+    addi r5, r5, 4
+    subi r6, r6, 1
+    bnez r6, loop
+    halt
+"""
+
+
+def _run_local(mode, flip_at=None):
+    from repro.hw.assembler import assemble
+
+    soc = SoC(SoCConfig(n_cpus=1, isa_mode=mode))
+    program = assemble(LOCAL_PROGRAM)
+    core = soc.cores[0]
+    if flip_at is not None:
+        # Flip a bit of a local word the loop reads back later.
+        soc.sim.schedule_at(flip_at,
+                            lambda: core.local_mem.flip_bit(0x140, 2))
+    executor = ISAExecutor(core, program)
+    soc.sim.process(executor.run())
+    soc.sim.run()
+    return (executor.cycles, soc.sim.now, tuple(executor.state.regs),
+            executor.state.pc, executor.data_accesses,
+            core.icache.hits, core.icache.misses)
+
+
+@pytest.mark.parametrize("flip_at", [None, 400, 900])
+def test_local_bram_flip_identical(flip_at):
+    assert _run_local("reference", flip_at) == _run_local("block", flip_at)
+
+
+def test_injector_routes_local_bitflips():
+    """bitflip_memory with a cpu and a local address hits that core's
+    BRAM, not DDR."""
+    from types import SimpleNamespace
+
+    from repro.faults.injector import FaultInjector
+    from repro.trace.recorder import TraceRecorder
+
+    soc = SoC(SoCConfig(n_cpus=2))
+    plan = FaultPlan(events=[
+        FaultEvent(kind="bitflip_memory", time=10, cpu=1, addr=0x40, arg=0),
+    ])
+    kernel_stub = SimpleNamespace(sim=soc.sim, soc=soc, trace=TraceRecorder())
+    FaultInjector(kernel_stub, plan).arm()
+    soc.sim.run(until=100)
+    assert soc.cores[1].local_mem.bitflips == 1
+    assert soc.ddr.bitflips == 0
+    assert soc.cores[1].local_mem.read_word(0x40) == 1
+
+
+# ------------------------------------------------------------- error parity
+def _run_error(mode, source, max_instructions=1_000_000, data=None):
+    from repro.hw.assembler import assemble
+
+    soc = SoC(SoCConfig(n_cpus=1, isa_mode=mode))
+    program = assemble(source)
+    if data:
+        program.data.update(data)
+    executor = ISAExecutor(soc.cores[0], program)
+    caught = []
+
+    def driver():
+        try:
+            yield from executor.run(max_instructions)
+        except ISAError as exc:
+            caught.append(str(exc))
+
+    soc.sim.process(driver())
+    soc.sim.run()
+    return (caught, executor.cycles, soc.sim.now,
+            executor.state.instructions_retired, executor.state.pc)
+
+
+@pytest.mark.parametrize("source,budget", [
+    ("loop:\n    br loop\n", 50),                       # budget exhausted
+    ("    addi r3, r0, 99\n    jr r3\n", 1_000),         # jr past the end
+    ("    lwi r3, r0, 0x30000000\n    halt\n", 1_000),   # unmapped address
+])
+def test_errors_identical_across_modes(source, budget):
+    ref = _run_error("reference", source, budget)
+    blk = _run_error("block", source, budget)
+    assert ref == blk
+    assert ref[0], "expected an ISAError"
+
+
+def test_unknown_opcode_rejected_at_predecode():
+    soc = SoC(SoCConfig(n_cpus=1))
+    program = Program(instructions=[Instruction(op="frobnicate")])
+    with pytest.raises(ISAError, match=r"unknown opcode 'frobnicate' at pc=0"):
+        ISAExecutor(soc.cores[0], program)
+
+
+def test_bad_register_rejected_at_predecode():
+    soc = SoC(SoCConfig(n_cpus=1))
+    program = Program(instructions=[Instruction(op="add", rd=35)])
+    with pytest.raises(ISAError, match=r"register r35 out of range at pc=0"):
+        ISAExecutor(soc.cores[0], program)
+
+
+def test_invalid_mode_rejected():
+    soc = SoC(SoCConfig(n_cpus=1))
+    program = Program(instructions=[Instruction(op="halt")])
+    with pytest.raises(ValueError, match="isa_mode"):
+        ISAExecutor(soc.cores[0], program, mode="turbo")
+    with pytest.raises(ValueError, match="isa_mode"):
+        SoCConfig(n_cpus=1, isa_mode="turbo")
+
+
+def test_block_mode_reports_window_counters():
+    blk = run_kernel("popcount32", "block", iterations=5)
+    assert blk["windows"] > 0
+    assert blk["window_instructions"] == blk["retired"]
+    ref = run_kernel("popcount32", "reference", iterations=5)
+    assert ref["windows"] == 0
+    # The whole point: far fewer engine events for the same work.
+    assert blk["events"] < ref["events"] / 5

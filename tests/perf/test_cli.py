@@ -100,7 +100,8 @@ class TestBenchEndToEnd:
         on_disk = json.loads(out.read_text())
         assert on_disk["engine"]["events"] == results["engine"]["events"]
         assert set(on_disk) == {"version", "host", "engine", "figure4",
-                                "cache", "tlm"}
+                                "cache", "tlm", "isa"}
+        assert on_disk["isa"]["identical"]
         assert "speedup" in on_disk["figure4"]
         assert on_disk["tlm"]["accurate"]
         text = bench.format_results(results)
